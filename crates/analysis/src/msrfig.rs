@@ -1,0 +1,112 @@
+//! Figure 19: the MSRs in which observable effects manifest.
+
+use rememberr::Database;
+use rememberr_model::{MsrName, Vendor};
+
+use crate::chart::BarChart;
+use crate::util::unique_of;
+
+/// Figure 19 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsrWitnessAnalysis {
+    /// One chart per vendor: % of unique errata witnessed by each MSR.
+    pub charts: Vec<(Vendor, BarChart)>,
+    /// Fraction of unique errata witnessed by machine-check status
+    /// registers (MCx_STATUS / MCx_ADDR), per vendor (paper: 7.1%-8.5%,
+    /// Observation O13).
+    pub machine_check_witness: Vec<(Vendor, f64)>,
+}
+
+/// Figure 19: most frequent MSRs containing observable effects.
+pub fn fig19_msr_witnesses(db: &Database, top: usize) -> MsrWitnessAnalysis {
+    let mut charts = Vec::new();
+    let mut machine_check_witness = Vec::new();
+    for &vendor in &Vendor::ALL {
+        let uniques = unique_of(db, vendor);
+        let total = uniques.len().max(1);
+        let mut chart = BarChart::new(
+            format!("Fig. 19 — MSRs witnessing observable effects ({vendor})"),
+            "%",
+        );
+        for name in MsrName::ALL {
+            let n = uniques
+                .iter()
+                .filter(|e| {
+                    e.annotation_or_empty()
+                        .msrs
+                        .iter()
+                        .any(|r| r.name == name)
+                })
+                .count();
+            if n > 0 {
+                chart.push(name.text(), 100.0 * n as f64 / total as f64);
+            }
+        }
+        chart.sort_desc();
+        chart.truncate(top);
+
+        let mc = uniques
+            .iter()
+            .filter(|e| {
+                e.annotation_or_empty()
+                    .msrs
+                    .iter()
+                    .any(|r| matches!(r.name, MsrName::McStatus | MsrName::McAddr))
+            })
+            .count();
+        machine_check_witness.push((vendor, mc as f64 / total as f64));
+        charts.push((vendor, chart));
+    }
+    MsrWitnessAnalysis {
+        charts,
+        machine_check_witness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+    use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+
+    fn annotated_db() -> Database {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.5));
+        let mut db = Database::from_documents(&corpus.structured);
+        classify_database(
+            &mut db,
+            &Rules::standard(),
+            HumanOracle::Simulated(&corpus.truth),
+            &FourEyesConfig::default(),
+        );
+        db
+    }
+
+    #[test]
+    fn mc_status_tops_both_vendors() {
+        let analysis = fig19_msr_witnesses(&annotated_db(), 5);
+        for (vendor, chart) in &analysis.charts {
+            assert!(!chart.rows.is_empty(), "{vendor}");
+            assert_eq!(chart.rows[0].0, "MCx_STATUS", "{vendor}: {:?}", chart.rows);
+        }
+    }
+
+    #[test]
+    fn machine_check_witness_rate_in_paper_band() {
+        let analysis = fig19_msr_witnesses(&annotated_db(), 5);
+        for (vendor, rate) in &analysis.machine_check_witness {
+            assert!(
+                (0.05..0.12).contains(rate),
+                "{vendor}: {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn ibs_registers_only_appear_for_amd() {
+        let analysis = fig19_msr_witnesses(&annotated_db(), 26);
+        let intel_chart = &analysis.charts[0].1;
+        assert!(intel_chart.rows.iter().all(|(l, _)| !l.starts_with("IBS_")));
+        let amd_chart = &analysis.charts[1].1;
+        assert!(amd_chart.rows.iter().any(|(l, _)| l.starts_with("IBS_")));
+    }
+}

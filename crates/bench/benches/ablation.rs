@@ -1,0 +1,143 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! 1. Intel dedup: exact-title-only vs the similarity cascade (cost; the
+//!    recall difference is asserted by `tests/ground_truth_eval.rs`).
+//! 2. Phrase-pattern engine vs a naive lowercase-substring scan. The naive
+//!    scan is faster but *wrong*: it is order- and proximity-insensitive
+//!    ("check the machine" false-positives the "machine check" rule), which
+//!    is why the compiled engine is the default despite the cost.
+//! 3. Relevance pre-filter: prepared-text reuse vs re-tokenizing per rule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rememberr::{assign_keys, DbEntry, DedupStrategy};
+use rememberr_bench::paper_db;
+use rememberr_classify::Rules;
+use rememberr_textkit::PreparedText;
+
+fn bench_dedup_strategies(c: &mut Criterion) {
+    let entries: Vec<DbEntry> = paper_db().entries().to_vec();
+    let mut group = c.benchmark_group("ablation_dedup");
+    group.sample_size(20);
+    for (name, strategy) in [
+        ("exact_title_only", DedupStrategy::ExactTitleOnly),
+        ("similarity_cascade", DedupStrategy::default()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || entries.clone(),
+                |mut e| black_box(assign_keys(&mut e, strategy)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Naive baseline: match each rule by lowercasing the text and searching
+/// for each alternative as a substring (what a quick script would do).
+fn naive_match(lower_text: &str, pattern_source: &str) -> bool {
+    pattern_source.split_whitespace().all(|elem| {
+        if elem.starts_with('<') || elem == "#" || elem == "?" {
+            return true; // gaps and wildcards trivially "match"
+        }
+        elem.split('|')
+            .any(|alt| lower_text.contains(alt.trim_end_matches('*')))
+    })
+}
+
+fn bench_pattern_engine(c: &mut Criterion) {
+    let rules = Rules::standard();
+    let db = paper_db();
+    let texts: Vec<String> = db
+        .entries()
+        .iter()
+        .take(200)
+        .map(|e| e.erratum.full_text())
+        .collect();
+    let sources: Vec<String> = rules
+        .strong()
+        .iter()
+        .map(|(_, p)| p.source().to_string())
+        .collect();
+
+    let mut group = c.benchmark_group("ablation_pattern_engine");
+    group.sample_size(10);
+    group.bench_function("compiled_phrase_patterns", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for text in &texts {
+                let prepared = PreparedText::new(text);
+                for (_, pattern) in rules.strong() {
+                    if pattern.is_match(&prepared) {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("naive_substring_scan", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for text in &texts {
+                let lower = text.to_ascii_lowercase();
+                for source in &sources {
+                    if naive_match(&lower, source) {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_prepared_text_reuse(c: &mut Criterion) {
+    let rules = Rules::standard();
+    let db = paper_db();
+    let texts: Vec<String> = db
+        .entries()
+        .iter()
+        .take(50)
+        .map(|e| e.erratum.full_text())
+        .collect();
+
+    let mut group = c.benchmark_group("ablation_prepared_text");
+    group.sample_size(10);
+    group.bench_function("prepare_once_per_erratum", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for text in &texts {
+                let prepared = PreparedText::new(text);
+                for (_, pattern) in rules.strong() {
+                    hits += usize::from(pattern.is_match(&prepared));
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("prepare_per_rule", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for text in &texts {
+                for (_, pattern) in rules.strong() {
+                    let prepared = PreparedText::new(text);
+                    hits += usize::from(pattern.is_match(&prepared));
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dedup_strategies,
+    bench_pattern_engine,
+    bench_prepared_text_reuse
+);
+criterion_main!(benches);

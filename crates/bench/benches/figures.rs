@@ -1,0 +1,136 @@
+//! One benchmark per paper figure/table: how long each analysis takes to
+//! regenerate from the full 2,563-erratum database.
+//!
+//! Run with `cargo bench -p rememberr-bench --bench figures`. The rendered
+//! shapes themselves are asserted by the test suite; these benches track
+//! the cost of regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rememberr_analysis as analysis;
+use rememberr_bench::{annotated_paper_db, paper_corpus};
+use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_model::Vendor;
+
+fn bench_figures(c: &mut Criterion) {
+    let db = annotated_paper_db();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+
+    group.bench_function("table3_corpus_stats", |b| {
+        b.iter(|| black_box(analysis::corpus_stats(db)))
+    });
+    group.bench_function("fig02_timeline", |b| {
+        b.iter(|| {
+            for vendor in Vendor::ALL {
+                black_box(analysis::fig02_disclosure_timeline(db, vendor));
+            }
+        })
+    });
+    group.bench_function("fig03_heredity", |b| {
+        b.iter(|| black_box(analysis::fig03_heredity(db)))
+    });
+    group.bench_function("fig04_shared_set", |b| {
+        b.iter(|| black_box(analysis::fig04_shared_set_timeline(db)))
+    });
+    group.bench_function("fig05_latency", |b| {
+        b.iter(|| black_box(analysis::fig05_latency(db)))
+    });
+    group.bench_function("fig06_workarounds", |b| {
+        b.iter(|| black_box(analysis::fig06_workarounds(db)))
+    });
+    group.bench_function("fig07_fixes", |b| {
+        b.iter(|| black_box(analysis::fig07_fixes(db)))
+    });
+    group.bench_function("fig10_trigger_frequency", |b| {
+        b.iter(|| black_box(analysis::fig10_trigger_frequency(db, 10)))
+    });
+    group.bench_function("fig11_trigger_counts", |b| {
+        b.iter(|| black_box(analysis::fig11_trigger_counts(db)))
+    });
+    group.bench_function("fig12_correlation", |b| {
+        b.iter(|| black_box(analysis::fig12_trigger_correlation(db)))
+    });
+    group.bench_function("fig13_class_evolution", |b| {
+        b.iter(|| black_box(analysis::fig13_class_evolution(db)))
+    });
+    group.bench_function("fig14_class_share", |b| {
+        b.iter(|| black_box(analysis::fig14_class_share(db)))
+    });
+    group.bench_function("fig15_external_breakdown", |b| {
+        b.iter(|| black_box(analysis::fig15_external_breakdown(db)))
+    });
+    group.bench_function("fig16_feature_breakdown", |b| {
+        b.iter(|| black_box(analysis::fig16_feature_breakdown(db)))
+    });
+    group.bench_function("fig17_context_frequency", |b| {
+        b.iter(|| black_box(analysis::fig17_context_frequency(db, 10)))
+    });
+    group.bench_function("fig18_effect_frequency", |b| {
+        b.iter(|| black_box(analysis::fig18_effect_frequency(db, 10)))
+    });
+    group.bench_function("fig19_msr_witnesses", |b| {
+        b.iter(|| black_box(analysis::fig19_msr_witnesses(db, 8)))
+    });
+    group.bench_function("observations_o1_to_o13", |b| {
+        b.iter(|| black_box(analysis::observations(db)))
+    });
+    group.finish();
+}
+
+fn bench_effort_figures(c: &mut Criterion) {
+    // Figures 8/9 need the four-eyes outcome; benchmark both the simulation
+    // and the chart derivation.
+    let corpus = paper_corpus();
+    let mut group = c.benchmark_group("figures_effort");
+    group.sample_size(10);
+    group.bench_function("fig08_fig09_four_eyes_and_charts", |b| {
+        b.iter(|| {
+            let mut db = rememberr::Database::from_documents(&corpus.structured);
+            let run = classify_database(
+                &mut db,
+                &Rules::standard(),
+                HumanOracle::Simulated(&corpus.truth),
+                &FourEyesConfig::default(),
+            );
+            let outcome = run.four_eyes.expect("simulated oracle");
+            black_box((
+                analysis::fig08_classification_steps(&outcome),
+                analysis::fig09_agreement(&outcome),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_guidance(c: &mut Criterion) {
+    let db = annotated_paper_db();
+    let mut group = c.benchmark_group("guidance");
+    group.sample_size(10);
+    group.bench_function("campaign_plan_10_steps", |b| {
+        b.iter(|| black_box(analysis::plan_campaign(db, 10, 3, 4)))
+    });
+    group.bench_function("observation_recommendation", |b| {
+        let stimuli: rememberr_model::TriggerSet = [
+            rememberr_model::Trigger::ConfigRegister,
+            rememberr_model::Trigger::Throttling,
+        ]
+        .into_iter()
+        .collect();
+        b.iter(|| black_box(analysis::recommend_observation_points(db, &stimuli)))
+    });
+    group.bench_function("full_report", |b| {
+        b.iter(|| black_box(analysis::FullReport::build(db, None, None)))
+    });
+    group.bench_function("rediscovery_all_pairs", |b| {
+        b.iter(|| black_box(analysis::rediscovery_by_pair(db)))
+    });
+    group.bench_function("observation_budget_sweep", |b| {
+        b.iter(|| black_box(analysis::observation_budget_sweep(db, 4, 3, 5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_effort_figures, bench_guidance);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Pipeline-stage benchmarks: corpus generation, rendering, extraction,
+//! deduplication, classification and persistence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rememberr::{assign_keys, load, save, Database, DedupStrategy, DbEntry};
+use rememberr_bench::{paper_corpus, paper_db, small_corpus};
+use rememberr_classify::{classify_database, classify_erratum, FourEyesConfig, HumanOracle, Rules};
+use rememberr_docgen::{render_document, CorpusSpec, SyntheticCorpus};
+use rememberr_extract::extract_document;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    group.bench_function("corpus_20pct", |b| {
+        let spec = CorpusSpec::scaled(0.2);
+        b.iter(|| black_box(SyntheticCorpus::generate(&spec)))
+    });
+    group.bench_function("corpus_paper_scale", |b| {
+        let spec = CorpusSpec::paper();
+        b.iter(|| black_box(SyntheticCorpus::generate(&spec)))
+    });
+    group.bench_function("render_largest_document", |b| {
+        let corpus = paper_corpus();
+        let (doc, _) = corpus
+            .structured
+            .iter()
+            .zip(&corpus.rendered)
+            .max_by_key(|(d, _)| d.len())
+            .expect("non-empty corpus");
+        b.iter(|| black_box(render_document(doc, &corpus.truth.defects)))
+    });
+    group.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let corpus = paper_corpus();
+    let (largest, design) = corpus
+        .rendered
+        .iter()
+        .map(|r| (r.text.as_str(), r.design))
+        .max_by_key(|(t, _)| t.len())
+        .expect("non-empty corpus");
+    let mut group = c.benchmark_group("extraction");
+    group.sample_size(20);
+    group.throughput(criterion::Throughput::Bytes(largest.len() as u64));
+    group.bench_function("extract_largest_document", |b| {
+        b.iter(|| black_box(extract_document(design, largest).expect("extracts")))
+    });
+    group.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let db = paper_db();
+    let entries: Vec<DbEntry> = db.entries().to_vec();
+    let mut group = c.benchmark_group("dedup");
+    group.sample_size(20);
+    group.bench_function("assign_keys_2563_entries", |b| {
+        b.iter_batched(
+            || entries.clone(),
+            |mut e| black_box(assign_keys(&mut e, DedupStrategy::default())),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let corpus = paper_corpus();
+    let rules = Rules::standard();
+    let db = paper_db();
+    let mut group = c.benchmark_group("classification");
+    group.sample_size(10);
+    group.bench_function("classify_one_erratum_all_60_categories", |b| {
+        let erratum = &db.entries()[0].erratum;
+        b.iter(|| black_box(classify_erratum(&rules, erratum)))
+    });
+    group.bench_function("classify_database_paper_scale", |b| {
+        b.iter_batched(
+            || Database::from_documents(&corpus.structured),
+            |mut db| {
+                black_box(classify_database(
+                    &mut db,
+                    &rules,
+                    HumanOracle::Simulated(&corpus.truth),
+                    &FourEyesConfig::default(),
+                ))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let db = paper_db();
+    let mut serialized = Vec::new();
+    save(db, &mut serialized).expect("save succeeds");
+    let mut group = c.benchmark_group("persistence");
+    group.sample_size(20);
+    group.throughput(criterion::Throughput::Bytes(serialized.len() as u64));
+    group.bench_function("save_jsonl", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(serialized.len());
+            save(db, &mut buf).expect("save succeeds");
+            black_box(buf)
+        })
+    });
+    group.bench_function("load_jsonl", |b| {
+        b.iter(|| black_box(load(serialized.as_slice()).expect("load succeeds")))
+    });
+    group.finish();
+}
+
+fn bench_small_end_to_end(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("rendered_text_to_keyed_db_20pct", |b| {
+        b.iter(|| {
+            let mut documents = Vec::new();
+            for rendered in &corpus.rendered {
+                documents.push(
+                    extract_document(rendered.design, &rendered.text)
+                        .expect("extracts")
+                        .document,
+                );
+            }
+            black_box(Database::from_documents(&documents))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_extraction,
+    bench_dedup,
+    bench_classification,
+    bench_persistence,
+    bench_small_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Shared fixtures for the benchmark suite.
+
+use std::sync::OnceLock;
+
+use rememberr::Database;
+use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+
+/// The paper-scale corpus, generated once per process.
+pub fn paper_corpus() -> &'static SyntheticCorpus {
+    static CORPUS: OnceLock<SyntheticCorpus> = OnceLock::new();
+    CORPUS.get_or_init(SyntheticCorpus::paper)
+}
+
+/// A paper-scale database, keyed but not annotated.
+pub fn paper_db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| Database::from_documents(&paper_corpus().structured))
+}
+
+/// A paper-scale database with full annotations (rules + simulated
+/// four-eyes), as every figure bench needs.
+pub fn annotated_paper_db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| {
+        let corpus = paper_corpus();
+        let mut db = Database::from_documents(&corpus.structured);
+        classify_database(
+            &mut db,
+            &Rules::standard(),
+            HumanOracle::Simulated(&corpus.truth),
+            &FourEyesConfig::default(),
+        );
+        db
+    })
+}
+
+/// A 20%-scale corpus for the more expensive end-to-end benches.
+pub fn small_corpus() -> &'static SyntheticCorpus {
+    static CORPUS: OnceLock<SyntheticCorpus> = OnceLock::new();
+    CORPUS.get_or_init(|| SyntheticCorpus::generate(&CorpusSpec::scaled(0.2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_consistent() {
+        assert_eq!(paper_db().len(), 2_563);
+        assert!(annotated_paper_db()
+            .entries()
+            .iter()
+            .all(|e| e.annotation.is_some()));
+        assert!(small_corpus().total_errata() > 100);
+    }
+}

@@ -1,0 +1,95 @@
+//! Inter-annotator agreement statistics.
+
+/// Fraction of identical decisions between two annotators.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn percent_agreement(a: &[bool], b: &[bool]) -> f64 {
+    assert_eq!(a.len(), b.len(), "decision vectors must align");
+    if a.is_empty() {
+        return 1.0;
+    }
+    let same = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    same as f64 / a.len() as f64
+}
+
+/// Cohen's kappa: agreement corrected for chance.
+///
+/// Returns 1.0 for perfect agreement, 0.0 for chance-level agreement, and
+/// negative values for worse-than-chance. Degenerate distributions (both
+/// annotators constant) yield 1.0 when they agree everywhere and 0.0
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn cohens_kappa(a: &[bool], b: &[bool]) -> f64 {
+    assert_eq!(a.len(), b.len(), "decision vectors must align");
+    let n = a.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let po = percent_agreement(a, b);
+    let pa_true = a.iter().filter(|&&x| x).count() as f64 / n as f64;
+    let pb_true = b.iter().filter(|&&x| x).count() as f64 / n as f64;
+    let pe = pa_true * pb_true + (1.0 - pa_true) * (1.0 - pb_true);
+    if (1.0 - pe).abs() < 1e-12 {
+        return if (po - 1.0).abs() < 1e-12 { 1.0 } else { 0.0 };
+    }
+    (po - pe) / (1.0 - pe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement() {
+        let a = [true, false, true];
+        assert_eq!(percent_agreement(&a, &a), 1.0);
+        let b = [true, false, false, true];
+        assert_eq!(cohens_kappa(&b, &b), 1.0);
+    }
+
+    #[test]
+    fn total_disagreement() {
+        let a = [true, false];
+        let b = [false, true];
+        assert_eq!(percent_agreement(&a, &b), 0.0);
+        assert!(cohens_kappa(&a, &b) < 0.0);
+    }
+
+    #[test]
+    fn kappa_corrects_for_chance() {
+        // 90% raw agreement driven mostly by a dominant class.
+        let a: Vec<bool> = (0..100).map(|i| i < 95).collect();
+        let b: Vec<bool> = (0..100).map(|i| i < 90).collect();
+        let po = percent_agreement(&a, &b);
+        let k = cohens_kappa(&a, &b);
+        assert!(po > 0.9);
+        assert!(k < po, "kappa {k} should be below raw agreement {po}");
+    }
+
+    #[test]
+    fn degenerate_distributions() {
+        let all_true = [true, true, true];
+        assert_eq!(cohens_kappa(&all_true, &all_true), 1.0);
+        let a = [true, true];
+        let b = [true, false];
+        let k = cohens_kappa(&a, &b);
+        assert!(k <= 0.0, "{k}");
+    }
+
+    #[test]
+    fn empty_vectors() {
+        assert_eq!(percent_agreement(&[], &[]), 1.0);
+        assert_eq!(cohens_kappa(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        percent_agreement(&[true], &[]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Automatic classification of errata.
+
+use rememberr_extract::scan_msr_refs;
+use rememberr_model::{Annotation, Category, Erratum};
+use rememberr_textkit::PreparedText;
+
+use crate::rules::Rules;
+
+/// The outcome of the relevance filter for one erratum-category pair.
+///
+/// The paper reduces `1128 x 60 = 67,680` per-human decisions to 2,064 by
+/// filtering pairs that are "clearly relevant" or "clearly irrelevant" with
+/// conservative regular expressions; only the rest needs human judgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// A strong rule matched: the category applies.
+    AutoRelevant,
+    /// No rule matched at all: the category does not apply.
+    AutoIrrelevant,
+    /// Only a weak cue matched: a human must decide.
+    NeedsHuman,
+}
+
+/// Classifies one erratum-category pair.
+pub fn decide(rules: &Rules, text: &PreparedText, category: Category) -> Decision {
+    if rules.strong_for(category).any(|p| p.is_match(text)) {
+        Decision::AutoRelevant
+    } else if rules.weak_for(category).any(|p| p.is_match(text)) {
+        Decision::NeedsHuman
+    } else {
+        Decision::AutoIrrelevant
+    }
+}
+
+/// Prepares the classification text of an erratum (all prose fields).
+pub fn prepare(erratum: &Erratum) -> PreparedText {
+    PreparedText::new(&erratum.full_text())
+}
+
+/// The automatic classification of one erratum: resolved categories plus
+/// the pairs needing human judgement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoClassification {
+    /// Annotation from auto-relevant categories only.
+    pub annotation: Annotation,
+    /// Categories whose decision is [`Decision::NeedsHuman`].
+    pub needs_human: Vec<Category>,
+    /// Total number of pairs auto-decided (relevant + irrelevant).
+    pub auto_decided: usize,
+}
+
+/// Runs the rule library over one erratum.
+///
+/// Concrete-level snippets are filled with the text regions the strong
+/// rules matched; MSR references found in the description are attached; the
+/// "complex set of conditions" flag is set when a marker matches.
+pub fn classify_erratum(rules: &Rules, erratum: &Erratum) -> AutoClassification {
+    let text = prepare(erratum);
+    let mut annotation = Annotation::new();
+    let mut needs_human = Vec::new();
+    let mut auto_decided = 0usize;
+
+    let full = erratum.full_text();
+    for category in Category::all() {
+        match decide(rules, &text, category) {
+            Decision::AutoRelevant => {
+                auto_decided += 1;
+                let snippet = rules
+                    .strong_for(category)
+                    .find_map(|p| {
+                        p.find_in(&text)
+                            .first()
+                            .map(|span| full[span.start..span.end].to_string())
+                    })
+                    .unwrap_or_default();
+                match category {
+                    Category::Trigger(t) => {
+                        annotation.triggers.insert(t);
+                        annotation.concrete_triggers.push(snippet);
+                    }
+                    Category::Context(c) => {
+                        annotation.contexts.insert(c);
+                        annotation.concrete_contexts.push(snippet);
+                    }
+                    Category::Effect(e) => {
+                        annotation.effects.insert(e);
+                        annotation.concrete_effects.push(snippet);
+                    }
+                }
+            }
+            Decision::AutoIrrelevant => auto_decided += 1,
+            Decision::NeedsHuman => needs_human.push(category),
+        }
+    }
+
+    annotation.msrs = scan_msr_refs(&erratum.description);
+    annotation.complex_conditions = rules.complex().iter().any(|p| p.is_match(&text));
+
+    AutoClassification {
+        annotation,
+        needs_human,
+        auto_decided,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rememberr_model::{Context, Design, Effect, ErratumId, MsrName, Trigger};
+
+    fn erratum(description: &str, title: &str) -> Erratum {
+        Erratum {
+            id: ErratumId::new(Design::Intel6, 1),
+            title: title.to_string(),
+            description: description.to_string(),
+            implications: String::new(),
+            workaround: "None identified.".to_string(),
+            status: "No fix planned.".to_string(),
+        }
+    }
+
+    #[test]
+    fn classifies_the_fdp_erratum() {
+        // The paper's Table I / Table VII example.
+        let e = erratum(
+            "Execution of the FSAVE, FNSAVE, FSTENV, or FNSTENV instructions in \
+             real-address mode or virtual-8086 mode may save an incorrect value for the \
+             x87 FDP. The value may be saved incorrectly.",
+            "X87 FDP Value May be Saved Incorrectly",
+        );
+        let rules = Rules::standard();
+        let out = classify_erratum(&rules, &e);
+        assert!(out.annotation.triggers.contains(Trigger::FloatingPoint));
+        assert!(out.annotation.contexts.contains(Context::RealMode));
+        assert!(out.annotation.effects.contains(Effect::MsrValue));
+    }
+
+    #[test]
+    fn snippets_are_taken_from_the_text() {
+        let e = erratum("After a warm reset is applied the processor may hang.", "T");
+        let out = classify_erratum(&Rules::standard(), &e);
+        assert!(out.annotation.triggers.contains(Trigger::Reset));
+        assert!(out
+            .annotation
+            .concrete_triggers
+            .iter()
+            .any(|s| s.contains("warm reset")));
+    }
+
+    #[test]
+    fn msr_refs_are_attached() {
+        let e = erratum(
+            "The MCx_STATUS register (MSR 0x401) may contain an incorrect value.",
+            "T",
+        );
+        let out = classify_erratum(&Rules::standard(), &e);
+        assert_eq!(out.annotation.msrs.len(), 1);
+        assert_eq!(out.annotation.msrs[0].name, MsrName::McStatus);
+    }
+
+    #[test]
+    fn complex_conditions_flag() {
+        let e = erratum(
+            "Under a highly specific and detailed set of internal timing conditions, \
+             the processor may hang.",
+            "T",
+        );
+        let out = classify_erratum(&Rules::standard(), &e);
+        assert!(out.annotation.complex_conditions);
+    }
+
+    #[test]
+    fn weak_cues_defer_to_humans() {
+        // "machine check" alone is ambiguous between trigger and effect.
+        let e = erratum("A machine check occurred somewhere.", "T");
+        let rules = Rules::standard();
+        let out = classify_erratum(&rules, &e);
+        assert!(out
+            .needs_human
+            .contains(&Category::Trigger(Trigger::MachineCheck)));
+        assert!(out
+            .needs_human
+            .contains(&Category::Effect(Effect::MachineCheck)));
+    }
+
+    #[test]
+    fn decisions_partition_all_sixty_categories() {
+        let e = erratum("Nothing of note happens here.", "T");
+        let out = classify_erratum(&Rules::standard(), &e);
+        assert_eq!(out.auto_decided + out.needs_human.len(), Category::COUNT);
+    }
+
+    #[test]
+    fn strong_match_wins_over_weak() {
+        let e = erratum("A warm reset is applied.", "T");
+        let rules = Rules::standard();
+        let text = prepare(&e);
+        assert_eq!(
+            decide(&rules, &text, Category::Trigger(Trigger::Reset)),
+            Decision::AutoRelevant
+        );
+    }
+}

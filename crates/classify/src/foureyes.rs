@@ -1,0 +1,372 @@
+//! Simulation of the study's four-eyes manual classification.
+//!
+//! Two researchers independently classified the filtered erratum-category
+//! pairs, then resolved mismatches in discussion, iterating in seven
+//! successive batches per design group (Figure 8 shows the cumulative
+//! errata per step, Figure 9 the pre-discussion agreement, generally above
+//! 80% and improving as the category definitions sharpened).
+//!
+//! The simulation models each annotator as ground truth corrupted by an
+//! error rate that decays per step (learning), and discussion as a
+//! near-perfect resolver. The outputs are the per-step statistics
+//! (regenerating Figures 8 and 9) and the resolved decisions.
+
+use rand::{Rng, SeedableRng};
+use rememberr_model::{Category, ErratumId};
+use serde::{Deserialize, Serialize};
+
+use crate::agreement::{cohens_kappa, percent_agreement};
+
+/// RNG for the annotator simulation (stable across `rand` versions).
+type SimRng = rand_chacha::ChaCha8Rng;
+
+/// Configuration of the four-eyes simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FourEyesConfig {
+    /// Number of discussion steps (the study used 7).
+    pub steps: usize,
+    /// Initial per-decision error probability of annotator A.
+    pub error_a: f64,
+    /// Initial per-decision error probability of annotator B.
+    pub error_b: f64,
+    /// Multiplicative per-step decay of both error rates (learning).
+    pub decay: f64,
+    /// Probability that discussion resolves a mismatch incorrectly.
+    pub discussion_error: f64,
+    /// Fraction of all errata classified in each step (normalized
+    /// internally; the study's batches grew over time).
+    pub step_shares: Vec<f64>,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for FourEyesConfig {
+    fn default() -> Self {
+        Self {
+            steps: 7,
+            error_a: 0.13,
+            error_b: 0.11,
+            decay: 0.90,
+            discussion_error: 0.02,
+            step_shares: vec![0.04, 0.07, 0.12, 0.17, 0.20, 0.20, 0.20],
+            seed: 0x4EE5,
+        }
+    }
+}
+
+/// One erratum-category pair requiring a human decision, with the answer a
+/// perfectly informed annotator would give.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HumanItem {
+    /// The erratum (one representative per unique bug).
+    pub id: ErratumId,
+    /// The category under decision.
+    pub category: Category,
+    /// Ground-truth relevance.
+    pub truth: bool,
+}
+
+/// Statistics of one discussion step (one Figure 8/9 data point).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// 1-based step number.
+    pub step: usize,
+    /// Errata classified in this step.
+    pub errata: usize,
+    /// Cumulative errata through this step (Figure 8).
+    pub cumulative_errata: usize,
+    /// Pair decisions made per human in this step.
+    pub decisions: usize,
+    /// Pre-discussion agreement (Figure 9).
+    pub agreement: f64,
+    /// Cohen's kappa for the step.
+    pub kappa: f64,
+}
+
+/// A resolved decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// The erratum.
+    pub id: ErratumId,
+    /// The category decided on.
+    pub category: Category,
+    /// The final (post-discussion) decision.
+    pub relevant: bool,
+}
+
+/// Output of the simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FourEyesOutcome {
+    /// Per-step statistics.
+    pub steps: Vec<StepReport>,
+    /// All resolved decisions.
+    pub resolutions: Vec<Resolution>,
+    /// Total decisions per human.
+    pub decisions_per_human: usize,
+}
+
+/// Runs the four-eyes simulation over the items needing human judgement.
+///
+/// Items are grouped by erratum; errata are split over the steps according
+/// to `config.step_shares`. Only errata carrying at least one item appear
+/// in the step counts; use [`run_four_eyes_over`] to batch over the full
+/// classified population (the paper's Figure 8 counts every classified
+/// erratum, including those the filter resolved entirely).
+pub fn run_four_eyes(config: &FourEyesConfig, items: &[HumanItem]) -> FourEyesOutcome {
+    let ids: Vec<ErratumId> = {
+        let mut ids = Vec::new();
+        for item in items {
+            if ids.last() != Some(&item.id) {
+                ids.push(item.id);
+            }
+        }
+        ids
+    };
+    run_four_eyes_over(config, &ids, items)
+}
+
+/// Like [`run_four_eyes`], but batches over an explicit erratum population:
+/// every id in `errata_in_order` counts toward the per-step errata totals,
+/// whether or not it carries human items.
+pub fn run_four_eyes_over(
+    config: &FourEyesConfig,
+    errata_in_order: &[ErratumId],
+    items: &[HumanItem],
+) -> FourEyesOutcome {
+    let mut rng = SimRng::seed_from_u64(config.seed);
+
+    // Group items per erratum, preserving the population order.
+    let mut errata: Vec<(ErratumId, Vec<&HumanItem>)> = errata_in_order
+        .iter()
+        .map(|&id| (id, Vec::new()))
+        .collect();
+    let mut index: std::collections::HashMap<ErratumId, usize> = errata
+        .iter()
+        .enumerate()
+        .map(|(i, (id, _))| (*id, i))
+        .collect();
+    for item in items {
+        match index.get(&item.id) {
+            Some(&i) => errata[i].1.push(item),
+            None => {
+                // Item for an erratum outside the stated population:
+                // append it so no decision is dropped.
+                index.insert(item.id, errata.len());
+                errata.push((item.id, vec![item]));
+            }
+        }
+    }
+
+    // Batch boundaries.
+    let share_total: f64 = config.step_shares.iter().sum();
+    let mut boundaries = Vec::with_capacity(config.steps);
+    let mut acc = 0.0;
+    for s in 0..config.steps {
+        acc += config.step_shares.get(s).copied().unwrap_or(0.0) / share_total.max(1e-12);
+        boundaries.push(((errata.len() as f64) * acc).round() as usize);
+    }
+    if let Some(last) = boundaries.last_mut() {
+        *last = errata.len();
+    }
+
+    let mut steps = Vec::with_capacity(config.steps);
+    let mut resolutions = Vec::with_capacity(items.len());
+    let mut cursor = 0usize;
+    let mut cumulative = 0usize;
+    let mut decisions_per_human = 0usize;
+
+    for (s, &end) in boundaries.iter().enumerate() {
+        let batch = &errata[cursor..end.max(cursor)];
+        let ea = config.error_a * config.decay.powi(s as i32);
+        let eb = config.error_b * config.decay.powi(s as i32);
+
+        let mut answers_a = Vec::new();
+        let mut answers_b = Vec::new();
+        let mut batch_items = Vec::new();
+        for (_, group) in batch {
+            for item in group {
+                let a = item.truth ^ rng.random_bool(ea);
+                let b = item.truth ^ rng.random_bool(eb);
+                answers_a.push(a);
+                answers_b.push(b);
+                batch_items.push(**item);
+            }
+        }
+
+        for ((item, &a), &b) in batch_items.iter().zip(&answers_a).zip(&answers_b) {
+            let relevant = if a == b {
+                a // agreement, possibly agreeing on a mistake
+            } else {
+                // Discussion: almost always lands on the truth.
+                item.truth ^ rng.random_bool(config.discussion_error)
+            };
+            resolutions.push(Resolution {
+                id: item.id,
+                category: item.category,
+                relevant,
+            });
+        }
+
+        cumulative += batch.len();
+        decisions_per_human += batch_items.len();
+        steps.push(StepReport {
+            step: s + 1,
+            errata: batch.len(),
+            cumulative_errata: cumulative,
+            decisions: batch_items.len(),
+            agreement: percent_agreement(&answers_a, &answers_b),
+            kappa: cohens_kappa(&answers_a, &answers_b),
+        });
+        cursor = end.max(cursor);
+    }
+
+    FourEyesOutcome {
+        steps,
+        resolutions,
+        decisions_per_human,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rememberr_model::{Design, Trigger};
+
+    fn items(n: usize) -> Vec<HumanItem> {
+        (0..n)
+            .map(|i| HumanItem {
+                id: ErratumId::new(Design::Intel6, (i / 3) as u32 + 1),
+                category: Category::Trigger(Trigger::ALL[i % 10]),
+                truth: i % 4 == 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_items_resolved_once() {
+        let config = FourEyesConfig::default();
+        let out = run_four_eyes(&config, &items(600));
+        assert_eq!(out.resolutions.len(), 600);
+        assert_eq!(out.decisions_per_human, 600);
+        assert_eq!(out.steps.len(), config.steps);
+        assert_eq!(out.steps.last().unwrap().cumulative_errata, 200);
+    }
+
+    #[test]
+    fn cumulative_errata_is_monotone() {
+        let out = run_four_eyes(&FourEyesConfig::default(), &items(900));
+        for pair in out.steps.windows(2) {
+            assert!(pair[0].cumulative_errata <= pair[1].cumulative_errata);
+        }
+    }
+
+    #[test]
+    fn agreement_is_generally_above_eighty_percent() {
+        let out = run_four_eyes(&FourEyesConfig::default(), &items(3000));
+        let above = out.steps.iter().filter(|s| s.agreement > 0.8).count();
+        assert!(above >= out.steps.len() - 1, "{:?}", out.steps);
+    }
+
+    #[test]
+    fn agreement_improves_with_learning() {
+        let out = run_four_eyes(&FourEyesConfig::default(), &items(6000));
+        let first = out.steps.first().unwrap().agreement;
+        let last = out.steps.last().unwrap().agreement;
+        assert!(last > first, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn resolutions_are_mostly_correct() {
+        let data = items(4000);
+        let out = run_four_eyes(&FourEyesConfig::default(), &data);
+        let correct = out
+            .resolutions
+            .iter()
+            .zip(&data)
+            .filter(|(r, item)| r.relevant == item.truth)
+            .count();
+        let accuracy = correct as f64 / data.len() as f64;
+        assert!(accuracy > 0.97, "{accuracy}");
+    }
+
+    #[test]
+    fn zero_error_gives_full_agreement_and_accuracy() {
+        let config = FourEyesConfig {
+            error_a: 0.0,
+            error_b: 0.0,
+            discussion_error: 0.0,
+            ..FourEyesConfig::default()
+        };
+        let data = items(300);
+        let out = run_four_eyes(&config, &data);
+        for step in &out.steps {
+            assert_eq!(step.agreement, 1.0);
+        }
+        assert!(out
+            .resolutions
+            .iter()
+            .zip(&data)
+            .all(|(r, item)| r.relevant == item.truth));
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = run_four_eyes(&FourEyesConfig::default(), &[]);
+        assert!(out.resolutions.is_empty());
+        assert_eq!(out.steps.len(), FourEyesConfig::default().steps);
+        assert!(out.steps.iter().all(|s| s.decisions == 0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = items(500);
+        let a = run_four_eyes(&FourEyesConfig::default(), &data);
+        let b = run_four_eyes(&FourEyesConfig::default(), &data);
+        assert_eq!(a, b);
+        let other = FourEyesConfig {
+            seed: 99,
+            ..FourEyesConfig::default()
+        };
+        let c = run_four_eyes(&other, &data);
+        assert_ne!(a.resolutions, c.resolutions);
+    }
+}
+
+#[cfg(test)]
+mod population_tests {
+    use super::*;
+    use rememberr_model::{Design, Trigger};
+
+    #[test]
+    fn population_batching_counts_item_free_errata() {
+        // 100 errata, only the first 10 carry human items: Figure 8's
+        // cumulative curve must still reach 100.
+        let population: Vec<ErratumId> = (1..=100)
+            .map(|n| ErratumId::new(Design::Intel6, n))
+            .collect();
+        let items: Vec<HumanItem> = (1..=10)
+            .map(|n| HumanItem {
+                id: ErratumId::new(Design::Intel6, n),
+                category: Category::Trigger(Trigger::Reset),
+                truth: n % 2 == 0,
+            })
+            .collect();
+        let out = run_four_eyes_over(&FourEyesConfig::default(), &population, &items);
+        assert_eq!(out.steps.last().unwrap().cumulative_errata, 100);
+        assert_eq!(out.resolutions.len(), 10);
+        assert_eq!(out.decisions_per_human, 10);
+    }
+
+    #[test]
+    fn out_of_population_items_are_still_resolved() {
+        let population = vec![ErratumId::new(Design::Intel6, 1)];
+        let stray = HumanItem {
+            id: ErratumId::new(Design::Intel7_8, 9),
+            category: Category::Trigger(Trigger::Pcie),
+            truth: true,
+        };
+        let out = run_four_eyes_over(&FourEyesConfig::default(), &population, &[stray]);
+        assert_eq!(out.resolutions.len(), 1);
+        assert_eq!(out.steps.last().unwrap().cumulative_errata, 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Minimal argument parsing for the CLI (no external parser dependency).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand, `--key value` options, and
+/// repeated/flag options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// Single-valued options; the last occurrence wins.
+    pub options: BTreeMap<String, String>,
+    /// Multi-valued options, in order of appearance.
+    pub multi: BTreeMap<String, Vec<String>>,
+    /// Boolean flags.
+    pub flags: Vec<String>,
+}
+
+/// Argument-parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// No subcommand given.
+    MissingCommand,
+    /// An option is missing its value.
+    MissingValue(String),
+    /// A bare positional argument where an option was expected.
+    UnexpectedPositional(String),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingCommand => write!(f, "missing subcommand"),
+            ArgsError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgsError::UnexpectedPositional(a) => write!(f, "unexpected argument {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Option names that may repeat (collected into `multi`).
+const MULTI_OPTIONS: &[&str] = &["trigger", "context", "effect"];
+
+/// Option names that are boolean flags (no value).
+const FLAG_OPTIONS: &[&str] = &["unique", "no-humans", "help"];
+
+/// Parses a raw argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for a missing subcommand, a valueless option, or a
+/// stray positional argument.
+pub fn parse<I, S>(raw: I) -> Result<ParsedArgs, ArgsError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut iter = raw.into_iter().map(Into::into).peekable();
+    let command = iter.next().ok_or(ArgsError::MissingCommand)?;
+    if command.starts_with('-') && command != "--help" {
+        return Err(ArgsError::MissingCommand);
+    }
+    let mut parsed = ParsedArgs {
+        command: command.trim_start_matches('-').to_string(),
+        ..ParsedArgs::default()
+    };
+    while let Some(arg) = iter.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(ArgsError::UnexpectedPositional(arg));
+        };
+        let key = key.to_string();
+        if FLAG_OPTIONS.contains(&key.as_str()) {
+            parsed.flags.push(key);
+        } else {
+            let value = iter
+                .next()
+                .filter(|v| !v.starts_with("--"))
+                .ok_or_else(|| ArgsError::MissingValue(key.clone()))?;
+            if MULTI_OPTIONS.contains(&key.as_str()) {
+                parsed.multi.entry(key).or_default().push(value);
+            } else {
+                parsed.options.insert(key, value);
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+impl ParsedArgs {
+    /// A single-valued option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A single-valued option parsed into `T`, or `default` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the option when parsing fails.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {text:?}")),
+        }
+    }
+
+    /// All values of a repeatable option.
+    pub fn get_multi(&self, key: &str) -> &[String] {
+        self.multi.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if the flag was given.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_options_and_flags() {
+        let parsed = parse([
+            "query", "--db", "db.jsonl", "--trigger", "Trg_EXT_rst", "--trigger",
+            "Trg_EXT_pci", "--unique",
+        ])
+        .unwrap();
+        assert_eq!(parsed.command, "query");
+        assert_eq!(parsed.get("db"), Some("db.jsonl"));
+        assert_eq!(parsed.get_multi("trigger").len(), 2);
+        assert!(parsed.has_flag("unique"));
+        assert!(!parsed.has_flag("no-humans"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert_eq!(parse(Vec::<String>::new()), Err(ArgsError::MissingCommand));
+        assert_eq!(
+            parse(["query", "--db"]),
+            Err(ArgsError::MissingValue("db".into()))
+        );
+        assert_eq!(
+            parse(["query", "stray"]),
+            Err(ArgsError::UnexpectedPositional("stray".into()))
+        );
+        assert_eq!(
+            parse(["query", "--db", "--unique"]),
+            Err(ArgsError::MissingValue("db".into()))
+        );
+    }
+
+    #[test]
+    fn get_parsed_defaults_and_errors() {
+        let parsed = parse(["generate", "--scale", "0.5"]).unwrap();
+        assert_eq!(parsed.get_parsed("scale", 1.0).unwrap(), 0.5);
+        assert_eq!(parsed.get_parsed("seed", 7u64).unwrap(), 7);
+        let bad = parse(["generate", "--scale", "abc"]).unwrap();
+        assert!(bad.get_parsed("scale", 1.0).is_err());
+    }
+
+    #[test]
+    fn help_flag_is_a_command() {
+        let parsed = parse(["--help"]).unwrap();
+        assert_eq!(parsed.command, "help");
+    }
+}

@@ -1,0 +1,447 @@
+//! CLI subcommand implementations.
+//!
+//! Each command is a plain function from parsed arguments to a `Result`
+//! with a human-readable error, so they are directly unit-testable without
+//! spawning processes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rememberr::{load, save, Database, Query};
+use rememberr_analysis::{export_csvs, plan_campaign, FullReport};
+use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_docgen::{CorpusSpec, GroundTruth, SyntheticCorpus};
+use rememberr_extract::extract_document;
+use rememberr_model::{Context, Design, Effect, Trigger, Vendor};
+
+use crate::args::ParsedArgs;
+
+/// Convenience alias: commands return printable output or an error string.
+pub type CmdResult = Result<String, String>;
+
+/// File name of the ground truth inside a generated corpus directory.
+pub const TRUTH_FILE: &str = "truth.json";
+
+/// `rememberr generate --out DIR [--scale F] [--seed N]`
+///
+/// Writes the 28 rendered documents (one `.txt` per design, named by the
+/// document reference) plus `truth.json` into `DIR`.
+pub fn cmd_generate(args: &ParsedArgs) -> CmdResult {
+    let out: PathBuf = args
+        .get("out")
+        .ok_or("generate needs --out DIR")?
+        .into();
+    let scale: f64 = args.get_parsed("scale", 1.0)?;
+    let mut spec = if (scale - 1.0).abs() < f64::EPSILON {
+        CorpusSpec::paper()
+    } else {
+        CorpusSpec::scaled(scale)
+    };
+    spec.seed = args.get_parsed("seed", spec.seed)?;
+
+    let corpus = SyntheticCorpus::generate(&spec);
+    fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    for rendered in &corpus.rendered {
+        let path = out.join(format!("{}.txt", rendered.design.reference()));
+        fs::write(&path, &rendered.text)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    let truth = serde_json::to_string(&corpus.truth).map_err(|e| e.to_string())?;
+    fs::write(out.join(TRUTH_FILE), truth).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} documents ({} errata) and {TRUTH_FILE} to {}",
+        corpus.rendered.len(),
+        corpus.total_errata(),
+        out.display()
+    ))
+}
+
+/// `rememberr extract --docs DIR --out DB.jsonl`
+///
+/// Parses every `<reference>.txt` in `DIR`, runs duplicate keying, and
+/// saves the database.
+pub fn cmd_extract(args: &ParsedArgs) -> CmdResult {
+    let docs_dir: PathBuf = args.get("docs").ok_or("extract needs --docs DIR")?.into();
+    let out: PathBuf = args.get("out").ok_or("extract needs --out DB.jsonl")?.into();
+
+    let mut documents = Vec::new();
+    let mut defect_total = 0usize;
+    for design in Design::ALL {
+        let path = docs_dir.join(format!("{}.txt", design.reference()));
+        if !path.exists() {
+            continue;
+        }
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let extracted = extract_document(design, &text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        defect_total += extracted.report.total();
+        documents.push(extracted.document);
+    }
+    if documents.is_empty() {
+        return Err(format!("no documents found in {}", docs_dir.display()));
+    }
+
+    let db = Database::from_documents(&documents);
+    write_db(&db, &out)?;
+    Ok(format!(
+        "extracted {} documents -> {} entries, {} unique bugs, {} defects; saved {}",
+        documents.len(),
+        db.len(),
+        db.unique_count(),
+        defect_total,
+        out.display()
+    ))
+}
+
+/// `rememberr classify --db DB.jsonl --out DB2.jsonl [--truth truth.json] [--no-humans]`
+pub fn cmd_classify(args: &ParsedArgs) -> CmdResult {
+    let mut db = read_db(args)?;
+    let out: PathBuf = args.get("out").ok_or("classify needs --out DB.jsonl")?.into();
+
+    let truth = match args.get("truth") {
+        Some(path) if !args.has_flag("no-humans") => {
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(serde_json::from_str::<GroundTruth>(&text).map_err(|e| e.to_string())?)
+        }
+        _ => None,
+    };
+    let oracle = match &truth {
+        Some(t) => HumanOracle::Simulated(t),
+        None => HumanOracle::None,
+    };
+    let run = classify_database(&mut db, &Rules::standard(), oracle, &FourEyesConfig::default());
+    write_db(&db, &out)?;
+    Ok(format!(
+        "classified {} unique errata: {} of {} decisions auto-resolved ({:.1}% reduction); saved {}",
+        run.stats.unique_errata,
+        run.stats.auto_decided,
+        run.stats.raw_decisions,
+        100.0 * run.stats.reduction(),
+        out.display()
+    ))
+}
+
+/// `rememberr report --db DB.jsonl [--csv-dir DIR]`
+pub fn cmd_report(args: &ParsedArgs) -> CmdResult {
+    let db = read_db(args)?;
+    let report = FullReport::build(&db, None, None);
+    if let Some(dir) = args.get("csv-dir") {
+        let written = export_csvs(&report, Path::new(dir)).map_err(|e| e.to_string())?;
+        return Ok(format!(
+            "{}\nwrote {} CSV files to {dir}",
+            report.render_text(),
+            written.len()
+        ));
+    }
+    Ok(report.render_text())
+}
+
+/// `rememberr query --db DB.jsonl [--vendor intel|amd] [--trigger CODE]...
+/// [--context CODE]... [--effect CODE]... [--min-triggers N] [--unique]`
+pub fn cmd_query(args: &ParsedArgs) -> CmdResult {
+    let db = read_db(args)?;
+    let mut query = Query::new();
+    if let Some(vendor) = args.get("vendor") {
+        query = query.vendor(parse_vendor(vendor)?);
+    }
+    for code in args.get_multi("trigger") {
+        let trigger: Trigger = code
+            .parse()
+            .map_err(|_| format!("unknown trigger code {code:?}"))?;
+        query = query.trigger(trigger);
+    }
+    for code in args.get_multi("context") {
+        let context: Context = code
+            .parse()
+            .map_err(|_| format!("unknown context code {code:?}"))?;
+        query = query.context(context);
+    }
+    for code in args.get_multi("effect") {
+        let effect: Effect = code
+            .parse()
+            .map_err(|_| format!("unknown effect code {code:?}"))?;
+        query = query.effect(effect);
+    }
+    let min: usize = args.get_parsed("min-triggers", 0)?;
+    if min > 0 {
+        query = query.min_triggers(min);
+    }
+    if args.has_flag("unique") {
+        query = query.unique_only();
+    }
+
+    let hits = query.run(&db);
+    let mut out = format!("{} matching errata\n", hits.len());
+    for entry in hits.iter().take(args.get_parsed("limit", 20usize)?) {
+        out.push_str(&format!(
+            "{}  {}  [{}]\n",
+            entry.id(),
+            entry.erratum.title,
+            entry.provenance.disclosure_date
+        ));
+    }
+    Ok(out)
+}
+
+/// `rememberr campaign --db DB.jsonl [--steps N] [--triggers N] [--effects N]`
+pub fn cmd_campaign(args: &ParsedArgs) -> CmdResult {
+    let db = read_db(args)?;
+    let steps: usize = args.get_parsed("steps", 10)?;
+    let triggers: usize = args.get_parsed("triggers", 3)?;
+    let effects: usize = args.get_parsed("effects", 4)?;
+    let plan = plan_campaign(&db, steps, triggers, effects);
+    Ok(plan.render_text())
+}
+
+/// `rememberr export --db DB.jsonl --out records.txt`
+///
+/// Writes every unique annotated erratum in the paper's proposed
+/// machine-readable format (Table VII), separated by blank lines — the
+/// open-data form of the database.
+pub fn cmd_export(args: &ParsedArgs) -> CmdResult {
+    use rememberr_model::MachineErratum;
+    let db = read_db(args)?;
+    let out: PathBuf = args.get("out").ok_or("export needs --out FILE")?.into();
+    let mut text = String::new();
+    let mut count = 0usize;
+    for entry in db.unique_entries() {
+        let record = MachineErratum {
+            key: entry.key.ok_or("database is not deduplicated")?,
+            title: entry.erratum.title.clone(),
+            annotation: entry.annotation.clone().unwrap_or_default(),
+            comments: String::new(),
+            root_cause: None,
+            workaround: entry.erratum.workaround.clone(),
+            status: entry.erratum.status.clone(),
+        };
+        text.push_str(&record.render());
+        text.push('\n');
+        count += 1;
+    }
+    fs::write(&out, text).map_err(|e| format!("{}: {e}", out.display()))?;
+    Ok(format!(
+        "exported {count} unique errata in Table VII format to {}",
+        out.display()
+    ))
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "rememberr — the RemembERR errata pipeline
+
+USAGE:
+  rememberr generate --out DIR [--scale F] [--seed N]
+  rememberr extract  --docs DIR --out DB.jsonl
+  rememberr classify --db DB.jsonl --out DB.jsonl [--truth truth.json] [--no-humans]
+  rememberr report   --db DB.jsonl [--csv-dir DIR]
+  rememberr query    --db DB.jsonl [--vendor intel|amd] [--trigger CODE]...
+                     [--context CODE]... [--effect CODE]... [--min-triggers N]
+                     [--unique] [--limit N]
+  rememberr campaign --db DB.jsonl [--steps N] [--triggers N] [--effects N]
+  rememberr export   --db DB.jsonl --out records.txt
+"
+    .to_string()
+}
+
+/// Dispatches a parsed command.
+pub fn run(args: &ParsedArgs) -> CmdResult {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args),
+        "extract" => cmd_extract(args),
+        "classify" => cmd_classify(args),
+        "report" => cmd_report(args),
+        "query" => cmd_query(args),
+        "campaign" => cmd_campaign(args),
+        "export" => cmd_export(args),
+        "help" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+fn parse_vendor(text: &str) -> Result<Vendor, String> {
+    match text.to_ascii_lowercase().as_str() {
+        "intel" => Ok(Vendor::Intel),
+        "amd" => Ok(Vendor::Amd),
+        other => Err(format!("unknown vendor {other:?} (use intel or amd)")),
+    }
+}
+
+fn read_db(args: &ParsedArgs) -> Result<Database, String> {
+    let path = args.get("db").ok_or("this command needs --db DB.jsonl")?;
+    let file = fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    load(file).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_db(db: &Database, path: &Path) -> Result<(), String> {
+    let file = fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    save(db, file).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rememberr-cli-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn generate_extract_classify_report_roundtrip() {
+        let dir = tmp("corpus");
+        let db_path = tmp("db.jsonl");
+        let db2_path = tmp("db2.jsonl");
+
+        let out = cmd_generate(
+            &parse([
+                "generate",
+                "--out",
+                dir.to_str().unwrap(),
+                "--scale",
+                "0.05",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("wrote 28 documents"));
+        assert!(dir.join(TRUTH_FILE).exists());
+
+        let out = cmd_extract(
+            &parse([
+                "extract",
+                "--docs",
+                dir.to_str().unwrap(),
+                "--out",
+                db_path.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("unique bugs"));
+
+        let truth = dir.join(TRUTH_FILE);
+        let out = cmd_classify(
+            &parse([
+                "classify",
+                "--db",
+                db_path.to_str().unwrap(),
+                "--out",
+                db2_path.to_str().unwrap(),
+                "--truth",
+                truth.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("auto-resolved"));
+
+        let out = cmd_report(
+            &parse(["report", "--db", db2_path.to_str().unwrap()]).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("Fig. 12"));
+        assert!(out.contains("Observations O1-O13"));
+
+        let out = cmd_query(
+            &parse([
+                "query",
+                "--db",
+                db2_path.to_str().unwrap(),
+                "--trigger",
+                "Trg_CFG_wrg",
+                "--unique",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("matching errata"));
+
+        let export_path = tmp("records.txt");
+        let out = cmd_export(
+            &parse([
+                "export",
+                "--db",
+                db2_path.to_str().unwrap(),
+                "--out",
+                export_path.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("Table VII format"));
+        let records = fs::read_to_string(&export_path).unwrap();
+        assert!(records.contains("Triggers:"));
+        let _ = fs::remove_file(&export_path);
+
+        let out = cmd_campaign(
+            &parse([
+                "campaign",
+                "--db",
+                db2_path.to_str().unwrap(),
+                "--steps",
+                "2",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("Test campaign plan"));
+
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_file(&db_path);
+        let _ = fs::remove_file(&db2_path);
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(cmd_generate(&parse(["generate"]).unwrap())
+            .unwrap_err()
+            .contains("--out"));
+        assert!(cmd_extract(&parse(["extract", "--docs", "/nonexistent", "--out", "x"]).unwrap())
+            .unwrap_err()
+            .contains("no documents"));
+        assert!(run(&parse(["frobnicate"]).unwrap())
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(run(&parse(["help"]).unwrap()).unwrap().contains("USAGE"));
+        assert!(
+            cmd_query(&parse(["query", "--db", "x", "--vendor", "via"]).unwrap()).is_err()
+        );
+    }
+
+    #[test]
+    fn query_rejects_bad_codes() {
+        // Build a tiny db first.
+        let dir = tmp("q-corpus");
+        let db_path = tmp("q-db.jsonl");
+        cmd_generate(
+            &parse(["generate", "--out", dir.to_str().unwrap(), "--scale", "0.02"]).unwrap(),
+        )
+        .unwrap();
+        cmd_extract(
+            &parse([
+                "extract",
+                "--docs",
+                dir.to_str().unwrap(),
+                "--out",
+                db_path.to_str().unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let err = cmd_query(
+            &parse([
+                "query",
+                "--db",
+                db_path.to_str().unwrap(),
+                "--trigger",
+                "Trg_FAKE_xyz",
+            ])
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown trigger"));
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_file(&db_path);
+    }
+}

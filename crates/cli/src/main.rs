@@ -1,0 +1,39 @@
+//! `rememberr` — command-line interface to the RemembERR pipeline.
+//!
+//! ```sh
+//! rememberr-cli generate --out corpus/ --scale 0.2
+//! rememberr-cli extract  --docs corpus/ --out db.jsonl
+//! rememberr-cli classify --db db.jsonl --out db.jsonl --truth corpus/truth.json
+//! rememberr-cli report   --db db.jsonl --csv-dir figures/
+//! rememberr-cli query    --db db.jsonl --trigger Trg_CFG_wrg --unique
+//! rememberr-cli campaign --db db.jsonl --steps 10
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(raw) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! The RemembERR database.
+
+use std::collections::HashMap;
+
+use rememberr_model::{
+    Annotation, Design, ErrataDocument, ErratumId, UniqueKey, Vendor,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::dedup::{assign_keys, DedupStats, DedupStrategy};
+use crate::entry::DbEntry;
+
+/// The annotated, keyed errata database — the paper's primary artifact.
+///
+/// # Examples
+///
+/// ```
+/// use rememberr::Database;
+/// use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+///
+/// let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.02));
+/// let db = Database::from_documents(&corpus.structured);
+/// assert_eq!(db.len(), corpus.truth.grand_total());
+/// assert!(db.unique_count() <= db.len());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Database {
+    entries: Vec<DbEntry>,
+    dedup_stats: DedupStats,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a database from structured documents and runs the default
+    /// duplicate keying.
+    ///
+    /// Disclosure dates are approximated from the revision histories
+    /// (Section IV-B1): earliest revision claiming the erratum, neighbor
+    /// interpolation for unmentioned errata.
+    pub fn from_documents(documents: &[ErrataDocument]) -> Self {
+        Self::from_documents_with(documents, DedupStrategy::default())
+    }
+
+    /// Like [`Database::from_documents`] with an explicit dedup strategy.
+    pub fn from_documents_with(documents: &[ErrataDocument], strategy: DedupStrategy) -> Self {
+        let mut entries = Vec::new();
+        for doc in documents {
+            let provenance = doc.approximate_disclosure_dates();
+            for (erratum, prov) in doc.errata.iter().zip(provenance) {
+                let mut entry = DbEntry::new(erratum.clone(), prov);
+                entry.fixed_in = doc.fixed_in(erratum.id.number).map(str::to_string);
+                entries.push(entry);
+            }
+        }
+        let dedup_stats = assign_keys(&mut entries, strategy);
+        Self {
+            entries,
+            dedup_stats,
+        }
+    }
+
+    /// Number of entries (errata listings, duplicates counted).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the database holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[DbEntry] {
+        &self.entries
+    }
+
+    /// Statistics from the duplicate-keying run.
+    pub fn dedup_stats(&self) -> DedupStats {
+        self.dedup_stats
+    }
+
+    /// Restores dedup statistics (used when loading a persisted database).
+    pub(crate) fn restore_dedup_stats(&mut self, stats: DedupStats) {
+        self.dedup_stats = stats;
+    }
+
+    /// Entries listed by a given design's document.
+    pub fn entries_for(&self, design: Design) -> impl Iterator<Item = &DbEntry> {
+        self.entries.iter().filter(move |e| e.design() == design)
+    }
+
+    /// Looks up an entry by identifier (first match for collided numbers).
+    pub fn entry(&self, id: ErratumId) -> Option<&DbEntry> {
+        self.entries.iter().find(|e| e.id() == id)
+    }
+
+    /// Mutable lookup, for attaching annotations.
+    pub fn entry_mut(&mut self, id: ErratumId) -> Option<&mut DbEntry> {
+        self.entries.iter_mut().find(|e| e.id() == id)
+    }
+
+    /// Attaches an annotation to every entry of the cluster containing `id`.
+    ///
+    /// Returns the number of entries annotated (0 if the id is unknown).
+    /// Name-collision identifiers resolve to the first matching entry's
+    /// cluster; use [`Database::annotate_key`] for unambiguous addressing.
+    pub fn annotate_cluster(&mut self, id: ErratumId, annotation: Annotation) -> usize {
+        match self.entry(id).and_then(|e| e.key) {
+            Some(key) => self.annotate_key(key, annotation),
+            None => 0,
+        }
+    }
+
+    /// Attaches an annotation to every entry with the given unique key.
+    ///
+    /// Returns the number of entries annotated.
+    pub fn annotate_key(&mut self, key: UniqueKey, annotation: Annotation) -> usize {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if e.key == Some(key) {
+                e.annotation = Some(annotation.clone());
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// One representative entry per unique key: the earliest disclosure
+    /// (ties broken by design order, then number).
+    ///
+    /// The paper's deduplicated ("unique errata") analyses run over exactly
+    /// this view.
+    pub fn unique_entries(&self) -> Vec<&DbEntry> {
+        let mut best: HashMap<UniqueKey, &DbEntry> = HashMap::new();
+        for e in &self.entries {
+            let Some(key) = e.key else { continue };
+            best.entry(key)
+                .and_modify(|cur| {
+                    let cand = (
+                        e.provenance.disclosure_date,
+                        e.design().index(),
+                        e.id().number,
+                    );
+                    let incumbent = (
+                        cur.provenance.disclosure_date,
+                        cur.design().index(),
+                        cur.id().number,
+                    );
+                    if cand < incumbent {
+                        *cur = e;
+                    }
+                })
+                .or_insert(e);
+        }
+        let mut out: Vec<&DbEntry> = best.into_values().collect();
+        out.sort_by_key(|e| e.key);
+        out
+    }
+
+    /// Number of unique bugs (clusters).
+    pub fn unique_count(&self) -> usize {
+        self.dedup_stats.clusters
+    }
+
+    /// Number of unique bugs for one vendor.
+    pub fn unique_count_for(&self, vendor: Vendor) -> usize {
+        self.unique_entries()
+            .iter()
+            .filter(|e| e.vendor() == vendor)
+            .count()
+    }
+
+    /// Number of entries for one vendor.
+    pub fn total_count_for(&self, vendor: Vendor) -> usize {
+        self.entries.iter().filter(|e| e.vendor() == vendor).count()
+    }
+
+    /// Merges another database into this one and re-runs duplicate keying
+    /// over the combined entries (cross-database duplicates cluster
+    /// together; annotations and provenance are preserved).
+    ///
+    /// Returns the new dedup statistics. This is how a future corpus — say,
+    /// a new generation's errata document — joins an existing database, the
+    /// extension path the paper's Section VII describes.
+    pub fn merge(&mut self, other: Database, strategy: DedupStrategy) -> DedupStats {
+        self.entries.extend(other.entries);
+        for entry in &mut self.entries {
+            entry.key = None;
+        }
+        self.dedup_stats = assign_keys(&mut self.entries, strategy);
+        self.dedup_stats
+    }
+
+    /// All entries of the cluster containing `key`.
+    pub fn cluster(&self, key: UniqueKey) -> impl Iterator<Item = &DbEntry> {
+        self.entries.iter().filter(move |e| e.key == Some(key))
+    }
+
+    /// Designs listing the cluster `key`, in canonical order, deduplicated.
+    pub fn cluster_designs(&self, key: UniqueKey) -> Vec<Design> {
+        let mut designs: Vec<Design> = self.cluster(key).map(|e| e.design()).collect();
+        designs.sort_by_key(|d| d.index());
+        designs.dedup();
+        designs
+    }
+}
+
+impl Extend<DbEntry> for Database {
+    /// Extends the database with pre-keyed entries. Dedup statistics are
+    /// not recomputed; call [`crate::assign_keys`] afterwards if needed.
+    fn extend<I: IntoIterator<Item = DbEntry>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+
+    fn small_db() -> (SyntheticCorpus, Database) {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.08));
+        let db = Database::from_documents(&corpus.structured);
+        (corpus, db)
+    }
+
+    #[test]
+    fn entry_counts_match_corpus() {
+        let (corpus, db) = small_db();
+        assert_eq!(db.len(), corpus.truth.grand_total());
+        for vendor in Vendor::ALL {
+            assert_eq!(db.total_count_for(vendor), corpus.truth.total_count(vendor));
+        }
+    }
+
+    #[test]
+    fn unique_counts_match_ground_truth() {
+        let (corpus, db) = small_db();
+        for vendor in Vendor::ALL {
+            assert_eq!(
+                db.unique_count_for(vendor),
+                corpus.truth.unique_count(vendor),
+                "{vendor}"
+            );
+        }
+        assert_eq!(db.unique_count(), corpus.truth.bugs.len());
+    }
+
+    #[test]
+    fn paper_scale_unique_counts_are_exact() {
+        let corpus = SyntheticCorpus::paper();
+        let db = Database::from_documents(&corpus.structured);
+        assert_eq!(db.len(), 2_563);
+        assert_eq!(db.total_count_for(Vendor::Intel), 2_057);
+        assert_eq!(db.total_count_for(Vendor::Amd), 506);
+        assert_eq!(db.unique_count_for(Vendor::Intel), 743);
+        assert_eq!(db.unique_count_for(Vendor::Amd), 385);
+        assert_eq!(db.unique_count(), 1_128);
+    }
+
+    #[test]
+    fn fixed_entries_carry_their_stepping() {
+        let (_, db) = small_db();
+        let with_stepping = db.entries().iter().filter(|e| e.fixed_in.is_some()).count();
+        let fixed = db
+            .entries()
+            .iter()
+            .filter(|e| e.fix == rememberr_model::FixStatus::Fixed)
+            .count();
+        assert_eq!(with_stepping, fixed, "every fixed entry names a stepping");
+    }
+
+    #[test]
+    fn unique_entries_pick_earliest_disclosure() {
+        let (_, db) = small_db();
+        for rep in db.unique_entries() {
+            let key = rep.key.unwrap();
+            for other in db.cluster(key) {
+                assert!(rep.provenance.disclosure_date <= other.provenance.disclosure_date);
+            }
+        }
+    }
+
+    #[test]
+    fn annotate_cluster_spreads_to_all_members() {
+        let (_, mut db) = small_db();
+        // Find a multi-entry cluster.
+        let key = db
+            .unique_entries()
+            .iter()
+            .map(|e| e.key.unwrap())
+            .find(|&k| db.cluster(k).count() >= 2)
+            .expect("a shared bug exists");
+        let id = db.cluster(key).next().unwrap().id();
+        let n = db.annotate_cluster(id, Annotation::new());
+        assert!(n >= 2);
+        assert!(db.cluster(key).all(|e| e.annotation.is_some()));
+    }
+
+    #[test]
+    fn cluster_designs_are_sorted_unique() {
+        let (_, db) = small_db();
+        for rep in db.unique_entries() {
+            let designs = db.cluster_designs(rep.key.unwrap());
+            assert!(!designs.is_empty());
+            for pair in designs.windows(2) {
+                assert!(pair[0].index() < pair[1].index());
+            }
+        }
+    }
+
+    #[test]
+    fn merging_split_corpora_recovers_the_whole() {
+        // Build the database from two halves of the corpus and merge: the
+        // cluster structure must match building it in one shot.
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.1));
+        let (first, second) = corpus.structured.split_at(14);
+        let mut a = Database::from_documents(first);
+        let b = Database::from_documents(second);
+        let whole = Database::from_documents(&corpus.structured);
+
+        let stats = a.merge(b, crate::dedup::DedupStrategy::default());
+        assert_eq!(a.len(), whole.len());
+        assert_eq!(stats.clusters, whole.unique_count());
+        for vendor in Vendor::ALL {
+            assert_eq!(
+                a.unique_count_for(vendor),
+                whole.unique_count_for(vendor),
+                "{vendor}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_preserves_annotations() {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.05));
+        let (first, second) = corpus.structured.split_at(14);
+        let mut a = Database::from_documents(first);
+        let id = a.entries()[0].id();
+        a.annotate_cluster(id, Annotation::new());
+        let b = Database::from_documents(second);
+        a.merge(b, crate::dedup::DedupStrategy::default());
+        assert!(a.entry(id).unwrap().annotation.is_some());
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = Database::new();
+        assert!(db.is_empty());
+        assert_eq!(db.unique_count(), 0);
+        assert!(db.unique_entries().is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Database entries: one per erratum listing, annotated and keyed.
+
+use rememberr_model::{
+    Annotation, Design, Erratum, ErratumId, FixStatus, Provenance, UniqueKey, Vendor,
+    WorkaroundCategory,
+};
+use serde::{Deserialize, Serialize};
+
+/// One erratum listing in the RemembERR database.
+///
+/// A bug that appears in several documents yields several entries sharing a
+/// [`UniqueKey`]; deduplicated analyses work per key (see
+/// [`crate::Database::unique_entries`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbEntry {
+    /// The raw erratum as extracted from its document.
+    pub erratum: Erratum,
+    /// Where and when it surfaced.
+    pub provenance: Provenance,
+    /// Workaround category classified from the workaround text (Figure 6).
+    pub workaround: WorkaroundCategory,
+    /// Fix status classified from the status text (Figure 7).
+    pub fix: FixStatus,
+    /// Trigger/context/effect annotation; `None` until classified.
+    pub annotation: Option<Annotation>,
+    /// Duplicate-cluster key; `None` until deduplication ran.
+    pub key: Option<UniqueKey>,
+    /// Stepping carrying the fix, from the document's summary table of
+    /// changes (`None` when the table lists no fix for this erratum).
+    #[serde(default)]
+    pub fixed_in: Option<String>,
+}
+
+impl DbEntry {
+    /// Builds an entry from a raw erratum and its provenance, classifying
+    /// the workaround and status fields on the way.
+    pub fn new(erratum: Erratum, provenance: Provenance) -> Self {
+        let workaround = WorkaroundCategory::classify(&erratum.workaround);
+        let fix = FixStatus::classify(&erratum.status);
+        Self {
+            erratum,
+            provenance,
+            workaround,
+            fix,
+            annotation: None,
+            key: None,
+            fixed_in: None,
+        }
+    }
+
+    /// The erratum identifier.
+    pub fn id(&self) -> ErratumId {
+        self.erratum.id
+    }
+
+    /// The design whose document lists this entry.
+    pub fn design(&self) -> Design {
+        self.erratum.id.design
+    }
+
+    /// The vendor of the design.
+    pub fn vendor(&self) -> Vendor {
+        self.design().vendor()
+    }
+
+    /// The annotation, or an empty one if unclassified.
+    pub fn annotation_or_empty(&self) -> Annotation {
+        self.annotation.clone().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rememberr_model::Date;
+
+    fn entry() -> DbEntry {
+        DbEntry::new(
+            Erratum {
+                id: ErratumId::new(Design::Intel6, 95),
+                title: "A Title".into(),
+                description: "A description.".into(),
+                implications: "System may hang.".into(),
+                workaround: "It is possible for the BIOS to contain a workaround.".into(),
+                status: "No fix planned.".into(),
+            },
+            Provenance::from_revision_log(3, Date::new(2016, 2, 15).unwrap()),
+        )
+    }
+
+    #[test]
+    fn classifies_fields_on_construction() {
+        let e = entry();
+        assert_eq!(e.workaround, WorkaroundCategory::Bios);
+        assert_eq!(e.fix, FixStatus::NoFixPlanned);
+        assert!(e.annotation.is_none());
+        assert!(e.key.is_none());
+        assert!(e.fixed_in.is_none());
+    }
+
+    #[test]
+    fn accessors() {
+        let e = entry();
+        assert_eq!(e.id().number, 95);
+        assert_eq!(e.design(), Design::Intel6);
+        assert_eq!(e.vendor(), Vendor::Intel);
+        assert!(e.annotation_or_empty().triggers.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = entry();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: DbEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

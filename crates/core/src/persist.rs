@@ -1,0 +1,208 @@
+//! Persistence: the database as JSON Lines.
+//!
+//! The open-sourced RemembERR database ships as structured records; this
+//! module writes one JSON object per entry plus a header record, so the
+//! database survives round trips and can be consumed by external tooling.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::db::Database;
+use crate::dedup::DedupStats;
+use crate::entry::DbEntry;
+
+/// Format identifier written in the header record.
+pub const FORMAT: &str = "rememberr-jsonl";
+
+/// Format version written in the header record.
+pub const VERSION: u32 = 1;
+
+/// Errors produced by persistence.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A record could not be encoded or decoded.
+    Json(serde_json::Error),
+    /// The stream does not start with a valid header.
+    BadHeader(String),
+    /// The header announces an unsupported version.
+    UnsupportedVersion(u32),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Json(e) => write!(f, "serialization error: {e}"),
+            PersistError::BadHeader(line) => write!(f, "bad header record {line:?}"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    format: String,
+    version: u32,
+    entries: usize,
+    dedup: DedupStats,
+}
+
+/// Writes the database as JSON Lines. Pass `&mut writer` to keep ownership.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O or encoding failure.
+pub fn save<W: Write>(db: &Database, mut writer: W) -> Result<(), PersistError> {
+    let header = Header {
+        format: FORMAT.to_string(),
+        version: VERSION,
+        entries: db.len(),
+        dedup: db.dedup_stats(),
+    };
+    serde_json::to_writer(&mut writer, &header)?;
+    writer.write_all(b"\n")?;
+    for entry in db.entries() {
+        serde_json::to_writer(&mut writer, entry)?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a database previously written by [`save`]. Pass `&mut reader` to
+/// keep ownership.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O failure, malformed records, or an
+/// unsupported version.
+pub fn load<R: Read>(reader: R) -> Result<Database, PersistError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| PersistError::BadHeader(String::new()))??;
+    let header: Header = serde_json::from_str(&header_line)
+        .map_err(|_| PersistError::BadHeader(header_line.clone()))?;
+    if header.format != FORMAT {
+        return Err(PersistError::BadHeader(header_line));
+    }
+    if header.version != VERSION {
+        return Err(PersistError::UnsupportedVersion(header.version));
+    }
+    let mut entries = Vec::with_capacity(header.entries);
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        entries.push(serde_json::from_str::<DbEntry>(&line)?);
+    }
+    let mut db = Database::new();
+    db.extend(entries);
+    db.restore_dedup_stats(header.dedup);
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+
+    fn sample_db() -> Database {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.03));
+        Database::from_documents(&corpus.structured)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save(&db, &mut buf).unwrap();
+        let back = load(buf.as_slice()).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn header_is_first_line() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save(&db, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("rememberr-jsonl"));
+        assert_eq!(text.lines().count(), db.len() + 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            load("not json\n".as_bytes()),
+            Err(PersistError::BadHeader(_))
+        ));
+        assert!(matches!(
+            load("".as_bytes()),
+            Err(PersistError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let header = format!(
+            "{{\"format\":\"{FORMAT}\",\"version\":99,\"entries\":0,\"dedup\":{{\"entries\":0,\"clusters\":0,\"exact_title_merges\":0,\"cascade_merges\":0}}}}\n"
+        );
+        assert!(matches!(
+            load(header.as_bytes()),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupt_record() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save(&db, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("{\"broken\": true}\n");
+        assert!(matches!(
+            load(text.as_bytes()),
+            Err(PersistError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save(&db, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push('\n');
+        let back = load(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), db.len());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based laws of the query interface: filters are conjunctive, so
+//! adding conditions never grows the result set, and every result actually
+//! satisfies the conditions.
+
+use proptest::prelude::*;
+use rememberr::{Database, Query};
+use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+use rememberr_model::{Context, Effect, Trigger, Vendor};
+
+use std::sync::OnceLock;
+
+fn db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.1));
+        let mut db = Database::from_documents(&corpus.structured);
+        classify_database(
+            &mut db,
+            &Rules::standard(),
+            HumanOracle::Simulated(&corpus.truth),
+            &FourEyesConfig::default(),
+        );
+        db
+    })
+}
+
+/// A serializable description of one query condition.
+#[derive(Debug, Clone)]
+enum Cond {
+    Vendor(bool),
+    Trigger(usize),
+    Context(usize),
+    Effect(usize),
+    MinTriggers(usize),
+    Unique,
+}
+
+fn apply(query: Query, cond: &Cond) -> Query {
+    match cond {
+        Cond::Vendor(intel) => query.vendor(if *intel { Vendor::Intel } else { Vendor::Amd }),
+        Cond::Trigger(i) => query.trigger(Trigger::ALL[i % Trigger::ALL.len()]),
+        Cond::Context(i) => query.context(Context::ALL[i % Context::ALL.len()]),
+        Cond::Effect(i) => query.effect(Effect::ALL[i % Effect::ALL.len()]),
+        Cond::MinTriggers(n) => query.min_triggers(n % 4),
+        Cond::Unique => query.unique_only(),
+    }
+}
+
+fn cond_strategy() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        any::<bool>().prop_map(Cond::Vendor),
+        (0usize..64).prop_map(Cond::Trigger),
+        (0usize..64).prop_map(Cond::Context),
+        (0usize..64).prop_map(Cond::Effect),
+        (0usize..4).prop_map(Cond::MinTriggers),
+        Just(Cond::Unique),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adding_trigger_conditions_shrinks_results(conds in prop::collection::vec(cond_strategy(), 0..4), extra in 0usize..64) {
+        let db = db();
+        let base = conds.iter().fold(Query::new(), apply);
+        let narrowed = apply(base.clone(), &Cond::Trigger(extra));
+        prop_assert!(narrowed.count(db) <= base.count(db));
+    }
+
+    #[test]
+    fn results_satisfy_their_conditions(trigger in 0usize..64, effect in 0usize..64) {
+        let db = db();
+        let t = Trigger::ALL[trigger % Trigger::ALL.len()];
+        let e = Effect::ALL[effect % Effect::ALL.len()];
+        let query = Query::new().trigger(t).effect(e);
+        for hit in query.run(db) {
+            let ann = hit.annotation.as_ref().expect("annotated db");
+            prop_assert!(ann.triggers.contains(t));
+            prop_assert!(ann.effects.contains(e));
+        }
+    }
+
+    #[test]
+    fn unique_results_are_disjoint_cluster_representatives(conds in prop::collection::vec(cond_strategy(), 0..3)) {
+        let db = db();
+        let query = conds.iter().fold(Query::new(), apply).unique_only();
+        let hits = query.run(db);
+        let mut keys: Vec<_> = hits.iter().map(|e| e.key.expect("keyed")).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        prop_assert_eq!(before, keys.len(), "duplicate clusters in unique results");
+    }
+
+    #[test]
+    fn vendor_partition_is_exact(conds in prop::collection::vec(cond_strategy(), 0..3)) {
+        // Restricting to Intel plus restricting to AMD partitions the
+        // unrestricted result set (vendor conditions override each other,
+        // so only apply to a vendor-free base).
+        let db = db();
+        let vendor_free: Vec<Cond> = conds
+            .into_iter()
+            .filter(|c| !matches!(c, Cond::Vendor(_)))
+            .collect();
+        let base = vendor_free.iter().fold(Query::new(), apply);
+        let all = base.count(db);
+        let intel = base.clone().vendor(Vendor::Intel).count(db);
+        let amd = base.vendor(Vendor::Amd).count(db);
+        prop_assert_eq!(all, intel + amd);
+    }
+}

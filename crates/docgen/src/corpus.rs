@@ -1,0 +1,122 @@
+//! Top-level corpus generation facade.
+
+use rememberr_model::ErrataDocument;
+
+use crate::assemble::{assemble, AssembledCorpus};
+use crate::render::{render_document, RenderedDocument};
+use crate::spec::CorpusSpec;
+use crate::truth::GroundTruth;
+
+/// A complete synthetic corpus: rendered page streams, the structured
+/// documents they were rendered from, and ground truth.
+///
+/// # Examples
+///
+/// ```
+/// use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+///
+/// let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.02));
+/// assert_eq!(corpus.rendered.len(), 28);
+/// assert_eq!(corpus.structured.len(), 28);
+/// assert!(corpus.truth.grand_total() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    /// The specification the corpus was generated from.
+    pub spec: CorpusSpec,
+    /// Rendered page streams, one per design, in [`rememberr_model::Design::ALL`] order.
+    pub rendered: Vec<RenderedDocument>,
+    /// The structured documents (what a perfect extraction would recover).
+    pub structured: Vec<ErrataDocument>,
+    /// Ground truth for evaluation.
+    pub truth: GroundTruth,
+}
+
+impl SyntheticCorpus {
+    /// Generates the corpus for a specification.
+    ///
+    /// Generation is deterministic: the same spec (including seed) yields a
+    /// byte-identical corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification fails [`CorpusSpec::validate`]; use
+    /// [`SyntheticCorpus::try_generate`] to handle invalid specs gracefully.
+    pub fn generate(spec: &CorpusSpec) -> Self {
+        Self::try_generate(spec).expect("invalid corpus specification")
+    }
+
+    /// Like [`SyntheticCorpus::generate`], but surfaces specification
+    /// errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated spec invariant.
+    pub fn try_generate(spec: &CorpusSpec) -> Result<Self, crate::spec::SpecError> {
+        spec.validate()?;
+        let AssembledCorpus { documents, truth } = assemble(spec);
+        let rendered = documents
+            .iter()
+            .map(|doc| render_document(doc, &truth.defects))
+            .collect();
+        Ok(Self {
+            spec: spec.clone(),
+            rendered,
+            structured: documents,
+            truth,
+        })
+    }
+
+    /// Generates the full paper-calibrated corpus (2,563 errata).
+    pub fn paper() -> Self {
+        Self::generate(&CorpusSpec::paper())
+    }
+
+    /// Total number of erratum entries across all documents.
+    pub fn total_errata(&self) -> usize {
+        self.structured.iter().map(|d| d.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rememberr_model::{Design, Vendor};
+
+    #[test]
+    fn try_generate_rejects_invalid_specs() {
+        let mut spec = CorpusSpec::scaled(0.05);
+        spec.intel_propagation = -0.5;
+        assert!(SyntheticCorpus::try_generate(&spec).is_err());
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let spec = CorpusSpec::scaled(0.03);
+        let a = SyntheticCorpus::generate(&spec);
+        let b = SyntheticCorpus::generate(&spec);
+        assert_eq!(a.rendered, b.rendered);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn rendered_and_structured_align() {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.03));
+        for (rendered, structured) in corpus.rendered.iter().zip(&corpus.structured) {
+            assert_eq!(rendered.design, structured.design);
+        }
+        assert_eq!(
+            corpus.structured.iter().map(|d| d.design).collect::<Vec<_>>(),
+            Design::ALL.to_vec()
+        );
+    }
+
+    #[test]
+    fn paper_scale_totals() {
+        // Generating the full corpus is fast enough for a unit test.
+        let corpus = SyntheticCorpus::paper();
+        assert_eq!(corpus.total_errata(), 2_563);
+        assert_eq!(corpus.truth.unique_count(Vendor::Intel), 743);
+        assert_eq!(corpus.truth.unique_count(Vendor::Amd), 385);
+    }
+}

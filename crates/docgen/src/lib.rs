@@ -1,0 +1,55 @@
+//! Calibrated synthetic errata-corpus generator.
+//!
+//! The RemembERR study ingests 28 proprietary Intel/AMD PDF errata
+//! documents. Those PDFs cannot ship with an open reproduction, so this
+//! crate generates a *statistically equivalent* corpus: the same documents
+//! (Table III), the same population numbers (2,563 errata; 743 unique Intel,
+//! 385 unique AMD), the same heredity structure (Figure 3), timeline shape
+//! (Figure 2), category frequency profiles (Figures 10-19), workaround/fix
+//! mixes (Figures 6-7), and the same six classes of "errata in errata"
+//! defects with the paper's exact counts — rendered into fixed-width page
+//! streams that demand the same extraction effort as PDF-extracted text.
+//!
+//! Unlike the real corpus, the synthetic one comes with [`GroundTruth`],
+//! so the downstream pipeline (extraction, dedup, classification) can be
+//! *evaluated*, not just run.
+//!
+//! # Examples
+//!
+//! ```
+//! use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+//!
+//! // A small corpus for experimentation; `CorpusSpec::paper()` gives the
+//! // full 2,563-erratum corpus.
+//! let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.02));
+//! let first = &corpus.rendered[0];
+//! assert!(first.text.contains("REVISION HISTORY"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod assemble;
+mod bugpool;
+mod corpus;
+mod render;
+mod rng;
+mod sampler;
+mod spec;
+mod text;
+mod timeline;
+mod truth;
+
+pub use assemble::{assemble, AssembledCorpus};
+pub use bugpool::{build_pool, BugSeed};
+pub use corpus::SyntheticCorpus;
+pub use render::{
+    compress_ranges, render_document, RenderedDocument, ERRATA_HEADING, LINE_WIDTH, PAGE_LINES,
+    REVISION_HEADING, SUMMARY_HEADING,
+};
+pub use rng::CorpusRng;
+pub use sampler::{sample_profile, BugProfile};
+pub use spec::{CorpusSpec, DefectSpec, SpecError, VendorPair};
+pub use text::{complex_conditions_marker, render_bug_text, BugText};
+pub use timeline::{exponential_days, raw_disclosure_dates, RevisionSchedule};
+pub use truth::{DefectLedger, FieldDefect, GroundTruth, TrueBug, TrueOccurrence};

@@ -1,0 +1,296 @@
+//! Parsing erratum blocks from the content line stream.
+//!
+//! A block looks like:
+//!
+//! ```text
+//! SKL095  Writing Certain Model Specific Registers May Cause the
+//!         Processor to Hang
+//! Problem: When software writes a specific value to a configuration reg-
+//!          ister while thermal throttling engages, the processor may ...
+//! Implication: System may hang or reset.
+//! Workaround: It is possible for the BIOS to contain a workaround ...
+//! Status: No fix planned.
+//! ```
+//!
+//! Blocks are separated by blank lines; field and title text wraps onto
+//! indented continuation lines with hyphenation, undone by
+//! [`rememberr_textkit::reflow`].
+
+use rememberr_model::{Design, Erratum, ErratumId};
+use rememberr_textkit::reflow;
+
+use crate::error::ExtractError;
+
+/// Field labels, in document order.
+const FIELD_LABELS: [&str; 4] = ["Problem", "Implication", "Workaround", "Status"];
+
+/// A parsed erratum plus parse-level observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedErratum {
+    /// The reconstructed erratum.
+    pub erratum: Erratum,
+    /// Labels of fields that appeared more than once (defect).
+    pub duplicated_fields: Vec<&'static str>,
+    /// Labels of expected fields that were absent (defect).
+    pub missing_fields: Vec<&'static str>,
+}
+
+/// Accumulates one field's wrapped lines.
+#[derive(Debug, Default)]
+struct Block {
+    id_form: String,
+    title_lines: Vec<String>,
+    /// `(label, lines)` in order of appearance; duplicates kept.
+    fields: Vec<(&'static str, Vec<String>)>,
+}
+
+impl Block {
+    fn finish(self, design: Design) -> Result<ParsedErratum, ExtractError> {
+        let id = ErratumId::parse_document_form(design, &self.id_form).map_err(|_| {
+            ExtractError::BadErratumHeader {
+                line: self.id_form.clone(),
+            }
+        })?;
+        let title = reflow(&self.title_lines);
+
+        let mut duplicated = Vec::new();
+        let mut take = |label: &'static str| -> String {
+            let mut found: Option<String> = None;
+            for (l, lines) in &self.fields {
+                if *l == label {
+                    if found.is_some() {
+                        duplicated.push(label);
+                    } else {
+                        found = Some(reflow(lines));
+                    }
+                }
+            }
+            found.unwrap_or_default()
+        };
+        let description = take("Problem");
+        let implications = take("Implication");
+        let workaround = take("Workaround");
+        let status = take("Status");
+
+        let mut missing = Vec::new();
+        for (label, value) in [
+            ("Problem", &description),
+            ("Implication", &implications),
+            ("Workaround", &workaround),
+            ("Status", &status),
+        ] {
+            if value.is_empty() {
+                missing.push(label);
+            }
+        }
+
+        Ok(ParsedErratum {
+            erratum: Erratum {
+                id,
+                title,
+                description,
+                implications,
+                workaround,
+                status,
+            },
+            duplicated_fields: duplicated,
+            missing_fields: missing,
+        })
+    }
+}
+
+/// Returns the field label if the line opens a field section.
+fn field_label(line: &str) -> Option<(&'static str, &str)> {
+    for label in FIELD_LABELS {
+        if let Some(rest) = line.strip_prefix(label) {
+            if let Some(text) = rest.strip_prefix(": ") {
+                return Some((label, text));
+            }
+        }
+    }
+    None
+}
+
+/// Parses all erratum blocks from the lines of the errata section.
+///
+/// An empty section yields an empty list (young documents may list no
+/// errata yet).
+///
+/// # Errors
+///
+/// Returns [`ExtractError::BadErratumHeader`] for an unparsable header.
+pub fn parse_errata(design: Design, lines: &[String]) -> Result<Vec<ParsedErratum>, ExtractError> {
+    let mut out = Vec::new();
+    let mut block: Option<Block> = None;
+    let mut in_title = false;
+
+    for line in lines {
+        if line.trim().is_empty() {
+            if let Some(b) = block.take() {
+                out.push(b.finish(design)?);
+            }
+            in_title = false;
+            continue;
+        }
+        if line.starts_with(char::is_whitespace) {
+            // Continuation of the current accumulation.
+            let Some(b) = block.as_mut() else {
+                continue; // stray indentation outside a block
+            };
+            let trimmed = line.trim_start().to_string();
+            if in_title {
+                b.title_lines.push(trimmed);
+            } else if let Some((_, field_lines)) = b.fields.last_mut() {
+                field_lines.push(trimmed);
+            } else {
+                b.title_lines.push(trimmed);
+            }
+            continue;
+        }
+        if let Some((label, text)) = field_label(line) {
+            let Some(b) = block.as_mut() else {
+                return Err(ExtractError::BadErratumHeader { line: line.clone() });
+            };
+            in_title = false;
+            b.fields.push((label, vec![text.to_string()]));
+            continue;
+        }
+        // A new erratum header: "<id>  <title...>".
+        if let Some(b) = block.take() {
+            out.push(b.finish(design)?);
+        }
+        let Some((id_form, title_start)) = line.split_once("  ") else {
+            return Err(ExtractError::BadErratumHeader { line: line.clone() });
+        };
+        block = Some(Block {
+            id_form: id_form.trim().to_string(),
+            title_lines: vec![title_start.trim_start().to_string()],
+            fields: Vec::new(),
+        });
+        in_title = true;
+    }
+    if let Some(b) = block.take() {
+        out.push(b.finish(design)?);
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_single_block() {
+        let parsed = parse_errata(
+            Design::Intel6,
+            &lines(&[
+                "SKL095  Writing Certain Model Specific Registers May Cause the",
+                "        Processor to Hang",
+                "Problem: When software writes a specific value to a configuration reg-",
+                "         ister, the processor may not behave as expected.",
+                "Implication: System may hang or reset.",
+                "Workaround: None identified.",
+                "Status: No fix planned.",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(parsed.len(), 1);
+        let e = &parsed[0].erratum;
+        assert_eq!(e.id.number, 95);
+        assert_eq!(
+            e.title,
+            "Writing Certain Model Specific Registers May Cause the Processor to Hang"
+        );
+        assert!(e.description.contains("configuration register,"));
+        assert_eq!(e.status, "No fix planned.");
+        assert!(parsed[0].duplicated_fields.is_empty());
+        assert!(parsed[0].missing_fields.is_empty());
+    }
+
+    #[test]
+    fn multiple_blocks_separated_by_blanks() {
+        let parsed = parse_errata(
+            Design::Amd19h,
+            &lines(&[
+                "1361  Processor May Hang",
+                "Problem: A problem.",
+                "Status: No fix planned.",
+                "",
+                "1362  Processor May Also Hang",
+                "Problem: Another problem.",
+                "Status: No fix planned.",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].erratum.id.number, 1361);
+        assert_eq!(parsed[1].erratum.id.number, 1362);
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let parsed = parse_errata(
+            Design::Amd19h,
+            &lines(&["1361  Title here", "Problem: Text.", "Status: No fix planned."]),
+        )
+        .unwrap();
+        assert_eq!(
+            parsed[0].missing_fields,
+            vec!["Implication", "Workaround"]
+        );
+    }
+
+    #[test]
+    fn duplicated_fields_are_reported_and_first_wins() {
+        let parsed = parse_errata(
+            Design::Amd19h,
+            &lines(&[
+                "1361  Title here",
+                "Problem: Text.",
+                "Workaround: First.",
+                "Workaround: Second.",
+                "Status: No fix planned.",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(parsed[0].duplicated_fields, vec!["Workaround"]);
+        assert_eq!(parsed[0].erratum.workaround, "First.");
+    }
+
+    #[test]
+    fn dehyphenation_in_fields() {
+        let parsed = parse_errata(
+            Design::Intel6,
+            &lines(&[
+                "SKL001  A Title",
+                "Problem: the MCx_STA-",
+                "         TUS register may contain an incorrect value.",
+            ]),
+        )
+        .unwrap();
+        assert!(parsed[0]
+            .erratum
+            .description
+            .contains("MCx_STATUS register"));
+    }
+
+    #[test]
+    fn bad_header_is_an_error() {
+        assert!(parse_errata(Design::Intel6, &lines(&["nonsense-without-id"])).is_err());
+        assert!(parse_errata(Design::Intel6, &lines(&["XYZ9  Title"])).is_err());
+        // Field before any header.
+        assert!(parse_errata(Design::Intel6, &lines(&["Problem: orphan field."])).is_err());
+    }
+
+    #[test]
+    fn empty_section_yields_no_errata() {
+        assert!(parse_errata(Design::Intel6, &lines(&["", ""]))
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Scanning erratum prose for MSR references and validating their numbers.
+//!
+//! Errata print register names together with their MSR numbers ("the
+//! MCx_STATUS register (MSR 0x401)"). Three errata across three documents
+//! carry *wrong* numbers (Section IV-A); this scanner recovers every
+//! reference and flags inconsistent ones against the registry in
+//! [`rememberr_model::MsrName`].
+
+use rememberr_model::{MsrName, MsrRef};
+
+/// Finds all `<NAME> register (MSR 0x<hex>)` references in `text`.
+///
+/// Unknown register names are skipped; the returned references may be
+/// inconsistent (check [`MsrRef::is_consistent`]).
+pub fn scan_msr_refs(text: &str) -> Vec<MsrRef> {
+    let mut out = Vec::new();
+    let mut search_from = 0;
+    while let Some(rel) = text[search_from..].find("(MSR 0x") {
+        let num_start = search_from + rel + "(MSR 0x".len();
+        let rest = &text[num_start..];
+        let hex_len = rest
+            .bytes()
+            .take_while(|b| b.is_ascii_hexdigit())
+            .count();
+        let claimed = u32::from_str_radix(&rest[..hex_len], 16).ok();
+        // Look backwards for the register name: the token before " register".
+        let before = &text[..search_from + rel];
+        let name = before
+            .trim_end()
+            .strip_suffix("register")
+            .map(str::trim_end)
+            .and_then(|s| s.rsplit(|c: char| c.is_whitespace()).next())
+            .and_then(MsrName::lookup);
+        if let (Some(name), Some(claimed_address)) = (name, claimed) {
+            out.push(MsrRef {
+                name,
+                claimed_address,
+            });
+        }
+        search_from = num_start + hex_len;
+    }
+    out
+}
+
+/// Returns only the references whose printed numbers are wrong.
+pub fn inconsistent_refs(text: &str) -> Vec<MsrRef> {
+    scan_msr_refs(text)
+        .into_iter()
+        .filter(|r| !r.is_consistent())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_reference() {
+        let refs =
+            scan_msr_refs("The MCx_STATUS register (MSR 0x401) may contain an incorrect value.");
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].name, MsrName::McStatus);
+        assert_eq!(refs[0].claimed_address, 0x401);
+        assert!(refs[0].is_consistent());
+    }
+
+    #[test]
+    fn finds_multiple_references() {
+        let text = "The APERF register (MSR 0xE8) and the MPERF register (MSR 0xE7) drift.";
+        let refs = scan_msr_refs(text);
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].name, MsrName::Aperf);
+        assert_eq!(refs[1].name, MsrName::Mperf);
+    }
+
+    #[test]
+    fn flags_wrong_numbers() {
+        let text = "The TSC register (MSR 0x5010) may stop.";
+        let bad = inconsistent_refs(text);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, MsrName::Tsc);
+        assert!(!bad[0].is_consistent());
+    }
+
+    #[test]
+    fn banked_windows_are_consistent() {
+        let text = "The MCx_STATUS register (MSR 0x429) logged the event."; // bank 10
+        assert!(inconsistent_refs(text).is_empty());
+    }
+
+    #[test]
+    fn unknown_names_are_skipped() {
+        let refs = scan_msr_refs("The FOO_BAR register (MSR 0x123) is fictional.");
+        assert!(refs.is_empty());
+    }
+
+    #[test]
+    fn tolerates_missing_pieces() {
+        assert!(scan_msr_refs("(MSR 0x...) nothing before").is_empty());
+        assert!(scan_msr_refs("no references at all").is_empty());
+        assert!(scan_msr_refs("register (MSR 0x)").is_empty());
+    }
+}

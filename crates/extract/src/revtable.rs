@@ -1,0 +1,235 @@
+//! Parsing the revision-history table.
+//!
+//! Rendered tables look like:
+//!
+//! ```text
+//! Rev   Date             Description
+//! 1     August 2015      Initial release. Added errata SKL001-SKL057.
+//! 2     October 2015     Added errata SKL058-SKL064.
+//! 3     December 2015    Added erratum SKL065. Editorial changes.
+//! ```
+//!
+//! Rows may wrap onto indented continuation lines. Dates are printed at
+//! month resolution, which is exactly the precision the original study had
+//! to work with; parsed dates use the mid-month convention.
+
+use rememberr_model::{Date, Design, Revision};
+use rememberr_textkit::reflow;
+
+use crate::error::ExtractError;
+
+/// Parses the revision table rows that follow the section heading.
+///
+/// Consumes lines until the first blank line. The `Rev Date Description`
+/// column-header line is skipped if present.
+///
+/// # Errors
+///
+/// Returns [`ExtractError::BadRevisionRow`] for a row whose revision number
+/// or date cannot be parsed.
+pub fn parse_revision_table(
+    design: Design,
+    lines: &[String],
+) -> Result<Vec<Revision>, ExtractError> {
+    let mut rows: Vec<(u32, Date, Vec<String>)> = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            break;
+        }
+        if line.starts_with("Rev") {
+            continue; // column header
+        }
+        if line.starts_with(char::is_whitespace) {
+            // Continuation of the previous row's (wrapped) description.
+            match rows.last_mut() {
+                Some((_, _, desc_lines)) => {
+                    desc_lines.push(line.trim().to_string());
+                }
+                None => {
+                    return Err(ExtractError::BadRevisionRow { line: line.clone() });
+                }
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let bad = || ExtractError::BadRevisionRow { line: line.clone() };
+        let rev: u32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let month = it.next().ok_or_else(bad)?;
+        let year = it.next().ok_or_else(bad)?;
+        let date = Date::parse_document_style(&format!("{month} {year}")).map_err(|_| bad())?;
+        let first: String = it.collect::<Vec<_>>().join(" ");
+        rows.push((rev, date, vec![first]));
+    }
+
+    Ok(rows
+        .into_iter()
+        .map(|(number, date, desc_lines)| {
+            // Reflow undoes the renderer's hyphenation before number
+            // extraction (long added-lists wrap mid-range).
+            let desc = reflow(&desc_lines);
+            Revision {
+                number,
+                date,
+                added: parse_added_numbers(design, &desc),
+            }
+        })
+        .collect())
+}
+
+/// Extracts the erratum numbers from an `Added errata ...` description.
+///
+/// Handles singular/plural forms, comma-separated lists and ranges, in the
+/// document's identifier form (Intel prefix or bare AMD number). Hyphenation
+/// artifacts (stray spaces inside a range) are tolerated.
+pub fn parse_added_numbers(design: Design, description: &str) -> Vec<u32> {
+    let Some(pos) = description.find("Added errat") else {
+        return Vec::new();
+    };
+    let after = &description[pos..];
+    // Skip "Added errata " or "Added erratum ".
+    let list_start = match after.find(' ') {
+        Some(first_space) => match after[first_space + 1..].find(' ') {
+            Some(second) => first_space + 1 + second + 1,
+            None => return Vec::new(),
+        },
+        None => return Vec::new(),
+    };
+    let list = &after[list_start..];
+    let list = list.split('.').next().unwrap_or(list);
+
+    let mut numbers = Vec::new();
+    for part in list.split(',') {
+        // Remove hyphenation-artifact spaces within a single id or range.
+        let compact: String = part.chars().filter(|c| !c.is_whitespace()).collect();
+        if compact.is_empty() {
+            continue;
+        }
+        if let Some((a, b)) = split_range(design, &compact) {
+            if a <= b && b - a < 10_000 {
+                numbers.extend(a..=b);
+            }
+        } else if let Some(n) = parse_id_form(design, &compact) {
+            numbers.push(n);
+        }
+    }
+    numbers.sort_unstable();
+    numbers.dedup();
+    numbers
+}
+
+/// Parses a single identifier in document form, e.g. `SKL095` or `1361`.
+fn parse_id_form(design: Design, s: &str) -> Option<u32> {
+    let prefix = design.erratum_prefix();
+    let rest = s.strip_prefix(prefix)?;
+    rest.parse().ok()
+}
+
+/// Splits `A-B` ranges; both endpoints must parse in the document form.
+fn split_range(design: Design, s: &str) -> Option<(u32, u32)> {
+    let prefix = design.erratum_prefix();
+    // Find a '-' that is not part of the prefix (prefixes are alphabetic,
+    // so any '-' splits the two identifiers).
+    for (i, c) in s.char_indices() {
+        if c == '-' && i > prefix.len() {
+            let a = parse_id_form(design, &s[..i])?;
+            let b = parse_id_form(design, &s[i + 1..])?;
+            return Some((a, b));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_simple_table() {
+        let table = lines(&[
+            "Rev   Date             Description",
+            "1     August 2015      Initial release. Added errata SKL001-SKL003.",
+            "2     October 2015     Added erratum SKL004.",
+            "",
+            "ignored",
+        ]);
+        let revs = parse_revision_table(Design::Intel6, &table).unwrap();
+        assert_eq!(revs.len(), 2);
+        assert_eq!(revs[0].number, 1);
+        assert_eq!(revs[0].date, Date::new(2015, 8, 15).unwrap());
+        assert_eq!(revs[0].added, vec![1, 2, 3]);
+        assert_eq!(revs[1].added, vec![4]);
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        // The renderer hyphenates mid-identifier (never adjacent to the
+        // natural range hyphen); reflow undoes exactly that.
+        let table = lines(&[
+            "1     August 2015      Initial release. Added errata SKL0-",
+            "                       01-SKL003, SKL007.",
+        ]);
+        let revs = parse_revision_table(Design::Intel6, &table).unwrap();
+        assert_eq!(revs[0].added, vec![1, 2, 3, 7]);
+    }
+
+    #[test]
+    fn unwrapped_continuations_also_join() {
+        // A continuation starting a fresh identifier (line broke at a
+        // space) survives.
+        let table = lines(&[
+            "1     August 2015      Initial release. Added errata SKL001-SKL003,",
+            "                       SKL007.",
+        ]);
+        let revs = parse_revision_table(Design::Intel6, &table).unwrap();
+        assert_eq!(revs[0].added, vec![1, 2, 3, 7]);
+    }
+
+    #[test]
+    fn amd_plain_numbers() {
+        let table = lines(&["3     June 2021        Added errata 1327, 1329, 1340-1342."]);
+        let revs = parse_revision_table(Design::Amd19h, &table).unwrap();
+        assert_eq!(revs[0].added, vec![1327, 1329, 1340, 1341, 1342]);
+    }
+
+    #[test]
+    fn editorial_rows_have_no_numbers() {
+        let table = lines(&["4     July 2021        Editorial changes only."]);
+        let revs = parse_revision_table(Design::Amd19h, &table).unwrap();
+        assert!(revs[0].added.is_empty());
+    }
+
+    #[test]
+    fn bad_rows_error() {
+        let table = lines(&["xyz   August 2015      Added erratum SKL001."]);
+        assert!(parse_revision_table(Design::Intel6, &table).is_err());
+        let orphan = lines(&["    continuation without a row"]);
+        assert!(parse_revision_table(Design::Intel6, &orphan).is_err());
+        let bad_date = lines(&["1     Augternber 2015  X."]);
+        assert!(parse_revision_table(Design::Intel6, &bad_date).is_err());
+    }
+
+    #[test]
+    fn wrong_prefix_ids_are_skipped() {
+        let revs = parse_revision_table(
+            Design::Intel6,
+            &lines(&["1     August 2015      Added errata ADL001, SKL002."]),
+        )
+        .unwrap();
+        assert_eq!(revs[0].added, vec![2]);
+    }
+
+    #[test]
+    fn insane_ranges_are_ignored() {
+        // Range parsing must not allocate gigabytes on corrupted input.
+        let revs = parse_revision_table(
+            Design::Amd19h,
+            &lines(&["1     August 2015      Added errata 1-4000000000."]),
+        )
+        .unwrap();
+        assert!(revs[0].added.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Page-stream scanning: strips pagination artifacts and recovers the
+//! continuous content line stream.
+//!
+//! Rendered documents (like PDF-extracted text) consist of pages separated
+//! by form feeds, each carrying a running header (document reference line
+//! plus a blank) and a footer (a blank plus a `Page N of M` line). Content
+//! blocks flow across page boundaries, so the scanner's output is the
+//! seamless concatenation of all pages' content lines.
+
+use crate::error::ExtractError;
+
+/// Splits a page stream into pages and strips headers/footers.
+///
+/// # Errors
+///
+/// Returns [`ExtractError::MalformedPage`] if a page is too short to carry
+/// the two header lines and two footer lines.
+pub fn depaginate(text: &str) -> Result<Vec<String>, ExtractError> {
+    let mut content = Vec::new();
+    for (page_no, page) in text.split('\u{c}').enumerate() {
+        let mut lines: Vec<&str> = page.split('\n').collect();
+        // A trailing newline produces one empty trailing element.
+        if lines.last() == Some(&"") {
+            lines.pop();
+        }
+        if lines.len() < 4 {
+            return Err(ExtractError::MalformedPage { page: page_no });
+        }
+        // Header: reference line + blank. Footer: blank + "Page N of M".
+        let body = &lines[2..lines.len() - 2];
+        content.extend(body.iter().map(|l| l.to_string()));
+    }
+    Ok(content)
+}
+
+/// Splits content lines at a heading line, returning the lines after it.
+///
+/// # Errors
+///
+/// Returns [`ExtractError::MissingSection`] if the heading never occurs.
+pub fn section_after<'a>(
+    lines: &'a [String],
+    heading: &'static str,
+) -> Result<&'a [String], ExtractError> {
+    let idx = lines
+        .iter()
+        .position(|l| l.trim() == heading)
+        .ok_or(ExtractError::MissingSection { heading })?;
+    Ok(&lines[idx + 1..])
+}
+
+/// Returns the lines of a section: everything after `heading` up to (not
+/// including) the line matching `until`, or the rest if `until` is absent.
+pub fn section_between<'a>(
+    lines: &'a [String],
+    heading: &'static str,
+    until: &'static str,
+) -> Result<&'a [String], ExtractError> {
+    let after = section_after(lines, heading)?;
+    let end = after
+        .iter()
+        .position(|l| l.trim() == until)
+        .unwrap_or(after.len());
+    Ok(&after[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(header: &str, body: &[&str], footer: &str) -> String {
+        let mut s = String::new();
+        s.push_str(header);
+        s.push('\n');
+        s.push('\n');
+        for line in body {
+            s.push_str(line);
+            s.push('\n');
+        }
+        s.push('\n');
+        s.push_str(footer);
+        s.push('\n');
+        s
+    }
+
+    #[test]
+    fn strips_headers_and_footers() {
+        let p1 = page("REF  Update", &["alpha", "beta"], "Page 1 of 2");
+        let p2 = page("REF  Update", &["gamma"], "Page 2 of 2");
+        let text = format!("{p1}\u{c}{p2}");
+        let content = depaginate(&text).unwrap();
+        assert_eq!(content, vec!["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn content_flows_across_pages() {
+        // A block split across a page boundary reassembles seamlessly.
+        let p1 = page("H", &["ID  Title", "Problem: first part"], "Page 1 of 2");
+        let p2 = page("H", &["         second part"], "Page 2 of 2");
+        let text = format!("{p1}\u{c}{p2}");
+        let content = depaginate(&text).unwrap();
+        assert_eq!(content[1], "Problem: first part");
+        assert_eq!(content[2], "         second part");
+    }
+
+    #[test]
+    fn malformed_page_rejected() {
+        let err = depaginate("x\ny\n").unwrap_err();
+        assert_eq!(err, ExtractError::MalformedPage { page: 0 });
+    }
+
+    #[test]
+    fn section_extraction() {
+        let lines: Vec<String> = ["a", "HEAD", "b", "c", "TAIL", "d"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(section_after(&lines, "HEAD").unwrap().len(), 4);
+        let mid = section_between(&lines, "HEAD", "TAIL").unwrap();
+        assert_eq!(mid, &["b".to_string(), "c".to_string()][..]);
+        assert!(section_after(&lines, "NOPE").is_err());
+        // Missing terminator: rest of the document.
+        let rest = section_between(&lines, "TAIL", "NOPE").unwrap();
+        assert_eq!(rest, &["d".to_string()][..]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Parsing the "Summary Table of Changes" (fixed errata and steppings).
+//!
+//! Intel status fields defer to this table ("For the steppings affected,
+//! refer to the Summary Table of Changes" — Table I of the paper); parsing
+//! it lets the pipeline cross-check status claims against the table.
+
+use rememberr_model::{Design, ErratumId, FixedIn};
+
+/// Parses the summary-table rows that follow the section heading.
+///
+/// Rows look like `SKL012     C0`. The column-header line and the
+/// no-fixes placeholder sentence are skipped; parsing stops at the first
+/// blank line. Unparsable rows are skipped (the table is advisory — the
+/// cross-check in [`crate::detect_defects`] reports inconsistencies).
+pub fn parse_fix_summary(design: Design, lines: &[String]) -> Vec<FixedIn> {
+    let mut out = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            break;
+        }
+        if line.starts_with("Erratum") || line.starts_with("No errata") {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(id_form), Some(stepping)) = (it.next(), it.next()) else {
+            continue;
+        };
+        if let Ok(id) = ErratumId::parse_document_form(design, id_form) {
+            out.push(FixedIn {
+                number: id.number,
+                stepping: stepping.to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_rows() {
+        let rows = parse_fix_summary(
+            Design::Intel6,
+            &lines(&[
+                "Erratum    Fixed in stepping",
+                "SKL012     C0",
+                "SKL095     D0",
+                "",
+                "ignored",
+            ]),
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].number, 12);
+        assert_eq!(rows[0].stepping, "C0");
+        assert_eq!(rows[1].number, 95);
+    }
+
+    #[test]
+    fn empty_table_placeholder() {
+        let rows = parse_fix_summary(
+            Design::Amd19h,
+            &lines(&["No errata have been fixed in later steppings.", ""]),
+        );
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn amd_plain_numbers() {
+        let rows = parse_fix_summary(Design::Amd19h, &lines(&["1361       B2"]));
+        assert_eq!(rows[0].number, 1361);
+        assert_eq!(rows[0].stepping, "B2");
+    }
+
+    #[test]
+    fn garbage_rows_are_skipped() {
+        let rows = parse_fix_summary(
+            Design::Intel6,
+            &lines(&["???", "SKL00x     C0", "SKL007     C0"]),
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].number, 7);
+    }
+}

@@ -1,0 +1,113 @@
+//! Failure injection: the extraction pipeline must degrade gracefully —
+//! return errors, never panic — on corrupted page streams.
+
+use proptest::prelude::*;
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+use rememberr_extract::extract_document;
+use rememberr_model::Design;
+
+fn sample_text() -> (Design, String) {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.02));
+    let rendered = &corpus.rendered[0];
+    (rendered.design, rendered.text.clone())
+}
+
+/// A corpus-level mutation applied to the text.
+#[derive(Debug, Clone)]
+enum Mutation {
+    DeleteLine(usize),
+    DuplicateLine(usize),
+    TruncateAt(usize),
+    SwapLines(usize, usize),
+    InsertGarbage(usize),
+    DropFormFeeds,
+}
+
+fn mutate(text: &str, mutation: &Mutation) -> String {
+    let mut lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return text.to_string();
+    }
+    match mutation {
+        Mutation::DeleteLine(i) => {
+            let i = i % lines.len();
+            lines.remove(i);
+            lines.join("\n")
+        }
+        Mutation::DuplicateLine(i) => {
+            let i = i % lines.len();
+            lines.insert(i, lines[i]);
+            lines.join("\n")
+        }
+        Mutation::TruncateAt(i) => {
+            let i = i % lines.len();
+            lines.truncate(i.max(1));
+            lines.join("\n")
+        }
+        Mutation::SwapLines(i, j) => {
+            let (i, j) = (i % lines.len(), j % lines.len());
+            lines.swap(i, j);
+            lines.join("\n")
+        }
+        Mutation::InsertGarbage(i) => {
+            let i = i % lines.len();
+            lines.insert(i, "@@ % garbage ## line 0x??");
+            lines.join("\n")
+        }
+        Mutation::DropFormFeeds => text.replace('\u{c}', "\n"),
+    }
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (0usize..5_000).prop_map(Mutation::DeleteLine),
+        (0usize..5_000).prop_map(Mutation::DuplicateLine),
+        (0usize..5_000).prop_map(Mutation::TruncateAt),
+        ((0usize..5_000), (0usize..5_000)).prop_map(|(a, b)| Mutation::SwapLines(a, b)),
+        (0usize..5_000).prop_map(Mutation::InsertGarbage),
+        Just(Mutation::DropFormFeeds),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn mutated_documents_never_panic(mutations in prop::collection::vec(mutation_strategy(), 1..6)) {
+        let (design, original) = sample_text();
+        let mut text = original;
+        for m in &mutations {
+            text = mutate(&text, m);
+        }
+        // Ok or Err are both acceptable; panics are not.
+        let _ = extract_document(design, &text);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(text in "[\\x20-\\x7e\\n\\x0c]{0,2000}") {
+        let _ = extract_document(Design::Intel6, &text);
+    }
+}
+
+#[test]
+fn single_line_deletions_usually_still_extract() {
+    // Deleting one mid-document content line must not collapse extraction:
+    // either it still succeeds or it fails with a clean error.
+    let (design, original) = sample_text();
+    let lines: Vec<&str> = original.lines().collect();
+    let mut successes = 0usize;
+    let step = (lines.len() / 40).max(1);
+    let mut attempts = 0usize;
+    for i in (0..lines.len()).step_by(step) {
+        let mut mutated: Vec<&str> = lines.clone();
+        mutated.remove(i);
+        let text = mutated.join("\n");
+        attempts += 1;
+        if extract_document(design, &text).is_ok() {
+            successes += 1;
+        }
+    }
+    assert!(
+        successes * 2 >= attempts,
+        "only {successes}/{attempts} single-deletion variants extracted"
+    );
+}

@@ -1,0 +1,457 @@
+//! Compact sets of abstract categories.
+//!
+//! The key observation of the paper is that **triggers are conjunctive**
+//! (all triggers of an erratum must be applied to provoke the bug) while
+//! **contexts and observations are disjunctive** (any one applicable context
+//! or observable deviation suffices). Both semantics are carried by the same
+//! bitset representation; the semantic distinction lives in the methods
+//! ([`CategorySet::satisfied_by_all`] vs [`CategorySet::satisfied_by_any`])
+//! and in the aliases [`TriggerSet`], [`ContextSet`] and [`EffectSet`].
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::taxonomy::{Context, Effect, Trigger};
+
+/// A finite catalog of categories that can be packed into a 64-bit set.
+///
+/// This trait is sealed: it is implemented exactly for the three abstract
+/// category enums of the taxonomy.
+pub trait Catalog: Copy + Eq + fmt::Debug + private::Sealed + 'static {
+    /// Number of categories in the catalog (must be <= 64).
+    const COUNT: usize;
+    /// Dense index of this category in `0..Self::COUNT`.
+    fn catalog_index(self) -> usize;
+    /// Inverse of [`Catalog::catalog_index`].
+    fn from_catalog_index(index: usize) -> Self;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for crate::taxonomy::Trigger {}
+    impl Sealed for crate::taxonomy::Context {}
+    impl Sealed for crate::taxonomy::Effect {}
+}
+
+macro_rules! impl_catalog {
+    ($ty:ty) => {
+        impl Catalog for $ty {
+            const COUNT: usize = <$ty>::ALL.len();
+
+            fn catalog_index(self) -> usize {
+                self.index()
+            }
+
+            fn from_catalog_index(index: usize) -> Self {
+                <$ty>::ALL[index]
+            }
+        }
+    };
+}
+
+impl_catalog!(Trigger);
+impl_catalog!(Context);
+impl_catalog!(Effect);
+
+/// A set of abstract categories of one kind, packed into a `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use rememberr_model::{Trigger, TriggerSet};
+///
+/// let mut set = TriggerSet::new();
+/// set.insert(Trigger::Reset);
+/// set.insert(Trigger::Pcie);
+/// assert_eq!(set.len(), 2);
+/// assert!(set.contains(Trigger::Reset));
+/// let codes: Vec<&str> = set.iter().map(|t| t.code()).collect();
+/// assert_eq!(codes, ["Trg_EXT_rst", "Trg_EXT_pci"]);
+/// ```
+pub struct CategorySet<T> {
+    bits: u64,
+    _marker: PhantomData<T>,
+}
+
+/// Conjunctive set of necessary triggers: a bug manifests only when **all**
+/// members are applied.
+pub type TriggerSet = CategorySet<Trigger>;
+
+/// Disjunctive set of applicable contexts: being in **any** member context
+/// suffices to observe the bug.
+pub type ContextSet = CategorySet<Context>;
+
+/// Disjunctive set of observable effects: observing **any** member deviation
+/// suffices to detect the bug.
+pub type EffectSet = CategorySet<Effect>;
+
+impl<T: Catalog> CategorySet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        const { assert!(T::COUNT <= 64) };
+        Self {
+            bits: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a set holding every category of the catalog.
+    pub fn full() -> Self {
+        let mut s = Self::new();
+        for i in 0..T::COUNT {
+            s.bits |= 1 << i;
+        }
+        s
+    }
+
+    /// Adds a category; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, category: T) -> bool {
+        let mask = 1u64 << category.catalog_index();
+        let fresh = self.bits & mask == 0;
+        self.bits |= mask;
+        fresh
+    }
+
+    /// Removes a category; returns `true` if it was present.
+    pub fn remove(&mut self, category: T) -> bool {
+        let mask = 1u64 << category.catalog_index();
+        let present = self.bits & mask != 0;
+        self.bits &= !mask;
+        present
+    }
+
+    /// True if the category is a member.
+    pub fn contains(&self, category: T) -> bool {
+        self.bits & (1 << category.catalog_index()) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// True if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Self) -> Self {
+        Self {
+            bits: self.bits | other.bits,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &Self) -> Self {
+        Self {
+            bits: self.bits & other.bits,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Members of `self` not in `other`.
+    pub fn difference(&self, other: &Self) -> Self {
+        Self {
+            bits: self.bits & !other.bits,
+            _marker: PhantomData,
+        }
+    }
+
+    /// True if every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// True if the sets share at least one member.
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.bits & other.bits != 0
+    }
+
+    /// **Conjunctive semantics** (triggers): true if the stimulus set
+    /// `applied` covers every necessary member of `self`.
+    ///
+    /// An empty `self` is trivially satisfied — an erratum without clear
+    /// triggers can fire under any stimulus.
+    pub fn satisfied_by_all(&self, applied: &Self) -> bool {
+        self.is_subset(applied)
+    }
+
+    /// **Disjunctive semantics** (contexts, effects): true if `available`
+    /// provides at least one member of `self`, or `self` is empty.
+    pub fn satisfied_by_any(&self, available: &Self) -> bool {
+        self.is_empty() || self.intersects(available)
+    }
+
+    /// Iterates members in catalog (table) order.
+    pub fn iter(&self) -> Iter<T> {
+        Iter {
+            bits: self.bits,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Raw bit representation (stable: bit `i` is catalog index `i`).
+    pub fn to_bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Rebuilds a set from [`CategorySet::to_bits`].
+    ///
+    /// Bits beyond the catalog size are discarded.
+    pub fn from_bits(bits: u64) -> Self {
+        let mask = if T::COUNT == 64 {
+            u64::MAX
+        } else {
+            (1u64 << T::COUNT) - 1
+        };
+        Self {
+            bits: bits & mask,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Iterator over the members of a [`CategorySet`], in catalog order.
+#[derive(Debug, Clone)]
+pub struct Iter<T> {
+    bits: u64,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Catalog> Iterator for Iter<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.bits == 0 {
+            return None;
+        }
+        let idx = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(T::from_catalog_index(idx))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl<T: Catalog> ExactSizeIterator for Iter<T> {}
+
+impl<T: Catalog> IntoIterator for &CategorySet<T> {
+    type Item = T;
+    type IntoIter = Iter<T>;
+
+    fn into_iter(self) -> Iter<T> {
+        self.iter()
+    }
+}
+
+impl<T: Catalog> FromIterator<T> for CategorySet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = Self::new();
+        for item in iter {
+            set.insert(item);
+        }
+        set
+    }
+}
+
+impl<T: Catalog> Extend<T> for CategorySet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.insert(item);
+        }
+    }
+}
+
+// Manual impls: derive would put unnecessary bounds on T.
+impl<T> Clone for CategorySet<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for CategorySet<T> {}
+
+impl<T> PartialEq for CategorySet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.bits == other.bits
+    }
+}
+
+impl<T> Eq for CategorySet<T> {}
+
+impl<T> PartialOrd for CategorySet<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for CategorySet<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bits.cmp(&other.bits)
+    }
+}
+
+impl<T> std::hash::Hash for CategorySet<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.bits.hash(state);
+    }
+}
+
+impl<T: Catalog> Default for CategorySet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Catalog + fmt::Display> fmt::Debug for CategorySet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut set = f.debug_set();
+        for member in self.iter() {
+            set.entry(&format_args!("{member}"));
+        }
+        set.finish()
+    }
+}
+
+impl<T: Catalog + fmt::Display> fmt::Display for CategorySet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        f.write_str("{")?;
+        for member in self.iter() {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{member}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl<T: Catalog + Serialize> Serialize for CategorySet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<'de, T: Catalog + DeserializeOwned> Deserialize<'de> for CategorySet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let members = Vec::<T>::deserialize(deserializer)?;
+        Ok(members.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::TriggerClass;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = TriggerSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Trigger::Reset));
+        assert!(!s.insert(Trigger::Reset));
+        assert!(s.contains(Trigger::Reset));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Trigger::Reset));
+        assert!(!s.remove(Trigger::Reset));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_set_has_catalog_size() {
+        assert_eq!(TriggerSet::full().len(), Trigger::ALL.len());
+        assert_eq!(ContextSet::full().len(), Context::ALL.len());
+        assert_eq!(EffectSet::full().len(), Effect::ALL.len());
+    }
+
+    #[test]
+    fn iteration_is_in_table_order() {
+        let set: TriggerSet = [Trigger::Pcie, Trigger::CacheLineBoundary, Trigger::Reset]
+            .into_iter()
+            .collect();
+        let order: Vec<Trigger> = set.iter().collect();
+        assert_eq!(
+            order,
+            vec![Trigger::CacheLineBoundary, Trigger::Reset, Trigger::Pcie]
+        );
+    }
+
+    #[test]
+    fn conjunctive_trigger_semantics() {
+        let needed: TriggerSet = [Trigger::Reset, Trigger::Pcie].into_iter().collect();
+        let only_reset: TriggerSet = [Trigger::Reset].into_iter().collect();
+        let both_plus: TriggerSet = [Trigger::Reset, Trigger::Pcie, Trigger::Dram]
+            .into_iter()
+            .collect();
+        assert!(!needed.satisfied_by_all(&only_reset));
+        assert!(needed.satisfied_by_all(&both_plus));
+        // No clear trigger: anything satisfies.
+        assert!(TriggerSet::new().satisfied_by_all(&TriggerSet::new()));
+    }
+
+    #[test]
+    fn disjunctive_effect_semantics() {
+        let observable: EffectSet = [Effect::Hang, Effect::MsrValue].into_iter().collect();
+        let watching_msrs: EffectSet = [Effect::MsrValue].into_iter().collect();
+        let watching_usb: EffectSet = [Effect::Usb].into_iter().collect();
+        assert!(observable.satisfied_by_any(&watching_msrs));
+        assert!(!observable.satisfied_by_any(&watching_usb));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: TriggerSet = [Trigger::Reset, Trigger::Pcie].into_iter().collect();
+        let b: TriggerSet = [Trigger::Pcie, Trigger::Dram].into_iter().collect();
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.intersection(&b).len(), 1);
+        assert_eq!(a.difference(&b).len(), 1);
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn bits_roundtrip_and_mask() {
+        let a: ContextSet = [Context::VmGuest, Context::Smm].into_iter().collect();
+        assert_eq!(ContextSet::from_bits(a.to_bits()), a);
+        // Garbage high bits are discarded.
+        let noisy = ContextSet::from_bits(u64::MAX);
+        assert_eq!(noisy.len(), Context::ALL.len());
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let set: TriggerSet = [Trigger::Reset].into_iter().collect();
+        assert_eq!(set.to_string(), "{Trg_EXT_rst}");
+        assert_eq!(format!("{set:?}"), "{Trg_EXT_rst}");
+        assert_eq!(TriggerSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn serde_roundtrip_as_code_list() {
+        let set: EffectSet = [Effect::Hang, Effect::Pcie].into_iter().collect();
+        let json = serde_json::to_string(&set).unwrap();
+        assert_eq!(json, "[\"Hang\",\"Pcie\"]");
+        let back: EffectSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn classes_of_a_trigger_set() {
+        let set: TriggerSet = [Trigger::Reset, Trigger::Pcie, Trigger::Debug]
+            .into_iter()
+            .collect();
+        let classes: std::collections::BTreeSet<TriggerClass> =
+            set.iter().map(|t| t.class()).collect();
+        assert_eq!(classes.len(), 2); // EXT (rst, pci) and FEA (dbg)
+    }
+}

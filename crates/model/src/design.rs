@@ -1,0 +1,426 @@
+//! Microprocessor designs and the errata documents that describe them.
+//!
+//! This mirrors Table III of the paper: 16 Intel Core errata documents
+//! (generations 1-12, with separate Desktop/Mobile documents up to
+//! generation 5) and 12 AMD documents (one per family / model range).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::date::Date;
+use crate::error::ModelError;
+
+/// A microprocessor vendor.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Vendor {
+    /// Intel Corporation (Core series).
+    #[default]
+    Intel,
+    /// Advanced Micro Devices.
+    Amd,
+}
+
+impl Vendor {
+    /// Both vendors, in document order.
+    pub const ALL: [Vendor; 2] = [Vendor::Intel, Vendor::Amd];
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Vendor::Intel => "Intel",
+            Vendor::Amd => "AMD",
+        })
+    }
+}
+
+/// Market segment of an Intel errata document.
+///
+/// Intel published separate Mobile and Desktop documents until generation 5
+/// and a single document per generation afterwards; AMD documents are always
+/// [`Segment::Unified`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// Desktop parts.
+    Desktop,
+    /// Mobile parts.
+    Mobile,
+    /// A single document covering all parts.
+    Unified,
+}
+
+/// One of the 28 designs whose errata document the study examined (Table III).
+///
+/// Every variant corresponds to exactly one errata document. The declaration
+/// order — Intel documents first, in generation order, then AMD documents in
+/// family order — is the canonical axis order used by the heredity matrix
+/// (Figure 3) and all per-design analyses.
+///
+/// # Examples
+///
+/// ```
+/// use rememberr_model::{Design, Vendor};
+///
+/// let d = Design::Intel6;
+/// assert_eq!(d.vendor(), Vendor::Intel);
+/// assert_eq!(d.reference(), "332689-028US");
+/// assert_eq!(d.label(), "Core 6");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants are systematic; see type-level docs
+pub enum Design {
+    Intel1D,
+    Intel1M,
+    Intel2D,
+    Intel2M,
+    Intel3D,
+    Intel3M,
+    Intel4D,
+    Intel4M,
+    Intel5D,
+    Intel5M,
+    Intel6,
+    Intel7_8,
+    Intel8_9,
+    Intel10,
+    Intel11,
+    Intel12,
+    Amd10h,
+    Amd11h,
+    Amd12h,
+    Amd14h,
+    Amd15h00,
+    Amd15h10,
+    Amd15h30,
+    Amd15h70,
+    Amd16h,
+    Amd17h00,
+    Amd17h30,
+    Amd19h,
+}
+
+/// Static description of a design, backing the accessor methods.
+struct DesignInfo {
+    design: Design,
+    vendor: Vendor,
+    segment: Segment,
+    /// Intel: lowest and highest Core generation covered by the document.
+    /// AMD: the family number twice.
+    span: (u8, u8),
+    /// AMD model range (lo, hi); `(0, 0xFF)` for Intel.
+    models: (u8, u8),
+    reference: &'static str,
+    label: &'static str,
+    /// Approximate commercial release date of the design.
+    release: Date,
+}
+
+const fn d(y: i32, m: u8, day: u8) -> Date {
+    Date::from_ymd_unchecked(y, m, day)
+}
+
+/// Table III, plus approximate release dates for the timeline model.
+const DESIGN_INFOS: [DesignInfo; 28] = [
+    DesignInfo { design: Design::Intel1D, vendor: Vendor::Intel, segment: Segment::Desktop, span: (1, 1), models: (0, 0xFF), reference: "320836-037US", label: "Core 1 (D)", release: d(2008, 11, 17) },
+    DesignInfo { design: Design::Intel1M, vendor: Vendor::Intel, segment: Segment::Mobile, span: (1, 1), models: (0, 0xFF), reference: "322814-024US", label: "Core 1 (M)", release: d(2009, 9, 8) },
+    DesignInfo { design: Design::Intel2D, vendor: Vendor::Intel, segment: Segment::Desktop, span: (2, 2), models: (0, 0xFF), reference: "324643-037US", label: "Core 2 (D)", release: d(2011, 1, 9) },
+    DesignInfo { design: Design::Intel2M, vendor: Vendor::Intel, segment: Segment::Mobile, span: (2, 2), models: (0, 0xFF), reference: "324827-034US", label: "Core 2 (M)", release: d(2011, 2, 20) },
+    DesignInfo { design: Design::Intel3D, vendor: Vendor::Intel, segment: Segment::Desktop, span: (3, 3), models: (0, 0xFF), reference: "326766-022US", label: "Core 3 (D)", release: d(2012, 4, 29) },
+    DesignInfo { design: Design::Intel3M, vendor: Vendor::Intel, segment: Segment::Mobile, span: (3, 3), models: (0, 0xFF), reference: "326770-022US", label: "Core 3 (M)", release: d(2012, 6, 3) },
+    DesignInfo { design: Design::Intel4D, vendor: Vendor::Intel, segment: Segment::Desktop, span: (4, 4), models: (0, 0xFF), reference: "328899-039US", label: "Core 4 (D)", release: d(2013, 6, 2) },
+    DesignInfo { design: Design::Intel4M, vendor: Vendor::Intel, segment: Segment::Mobile, span: (4, 4), models: (0, 0xFF), reference: "328903-038US", label: "Core 4 (M)", release: d(2013, 6, 2) },
+    DesignInfo { design: Design::Intel5D, vendor: Vendor::Intel, segment: Segment::Desktop, span: (5, 5), models: (0, 0xFF), reference: "332381-023US", label: "Core 5 (D)", release: d(2015, 6, 1) },
+    DesignInfo { design: Design::Intel5M, vendor: Vendor::Intel, segment: Segment::Mobile, span: (5, 5), models: (0, 0xFF), reference: "330836-031US", label: "Core 5 (M)", release: d(2015, 1, 5) },
+    DesignInfo { design: Design::Intel6, vendor: Vendor::Intel, segment: Segment::Unified, span: (6, 6), models: (0, 0xFF), reference: "332689-028US", label: "Core 6", release: d(2015, 8, 5) },
+    DesignInfo { design: Design::Intel7_8, vendor: Vendor::Intel, segment: Segment::Unified, span: (7, 8), models: (0, 0xFF), reference: "334663-013US", label: "Core 7/8", release: d(2017, 1, 3) },
+    DesignInfo { design: Design::Intel8_9, vendor: Vendor::Intel, segment: Segment::Unified, span: (8, 9), models: (0, 0xFF), reference: "337346-002US", label: "Core 8/9", release: d(2018, 10, 8) },
+    DesignInfo { design: Design::Intel10, vendor: Vendor::Intel, segment: Segment::Unified, span: (10, 10), models: (0, 0xFF), reference: "615213-010US", label: "Core 10", release: d(2019, 9, 1) },
+    DesignInfo { design: Design::Intel11, vendor: Vendor::Intel, segment: Segment::Unified, span: (11, 11), models: (0, 0xFF), reference: "634808-008US", label: "Core 11", release: d(2020, 9, 17) },
+    DesignInfo { design: Design::Intel12, vendor: Vendor::Intel, segment: Segment::Unified, span: (12, 12), models: (0, 0xFF), reference: "682436-004US", label: "Core 12", release: d(2021, 11, 4) },
+    DesignInfo { design: Design::Amd10h, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x10, 0x10), models: (0x00, 0x0F), reference: "41322-3.84", label: "Fam. 10h 00-0F", release: d(2007, 11, 19) },
+    DesignInfo { design: Design::Amd11h, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x11, 0x11), models: (0x00, 0x0F), reference: "41788-3.00", label: "Fam. 11h 00-0F", release: d(2008, 6, 4) },
+    DesignInfo { design: Design::Amd12h, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x12, 0x12), models: (0x00, 0x0F), reference: "44739-3.10", label: "Fam. 12h 00-0F", release: d(2011, 6, 14) },
+    DesignInfo { design: Design::Amd14h, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x14, 0x14), models: (0x00, 0x0F), reference: "47534-3.18", label: "Fam. 14h 00-0F", release: d(2011, 1, 4) },
+    DesignInfo { design: Design::Amd15h00, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x15, 0x15), models: (0x00, 0x0F), reference: "48063-3.24", label: "Fam. 15h 00-0F", release: d(2011, 10, 12) },
+    DesignInfo { design: Design::Amd15h10, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x15, 0x15), models: (0x10, 0x1F), reference: "48931-3.08", label: "Fam. 15h 10-1F", release: d(2012, 10, 2) },
+    DesignInfo { design: Design::Amd15h30, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x15, 0x15), models: (0x30, 0x3F), reference: "51603-1.06", label: "Fam. 15h 30-3F", release: d(2014, 1, 14) },
+    DesignInfo { design: Design::Amd15h70, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x15, 0x15), models: (0x70, 0x7F), reference: "55370-3.00", label: "Fam. 15h 70-7F", release: d(2016, 6, 1) },
+    DesignInfo { design: Design::Amd16h, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x16, 0x16), models: (0x00, 0x0F), reference: "51810-3.06", label: "Fam. 16h 00-0F", release: d(2013, 5, 23) },
+    DesignInfo { design: Design::Amd17h00, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x17, 0x17), models: (0x00, 0x0F), reference: "55449-1.12", label: "Fam. 17h 00-0F", release: d(2017, 3, 2) },
+    DesignInfo { design: Design::Amd17h30, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x17, 0x17), models: (0x30, 0x3F), reference: "56323-0.78", label: "Fam. 17h 30-3F", release: d(2019, 8, 7) },
+    DesignInfo { design: Design::Amd19h, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x19, 0x19), models: (0x00, 0x0F), reference: "56683-1.04", label: "Fam. 19h 00-0F", release: d(2020, 11, 5) },
+];
+
+impl Design {
+    /// All 28 designs in canonical (Table III) order.
+    pub const ALL: [Design; 28] = [
+        Design::Intel1D,
+        Design::Intel1M,
+        Design::Intel2D,
+        Design::Intel2M,
+        Design::Intel3D,
+        Design::Intel3M,
+        Design::Intel4D,
+        Design::Intel4M,
+        Design::Intel5D,
+        Design::Intel5M,
+        Design::Intel6,
+        Design::Intel7_8,
+        Design::Intel8_9,
+        Design::Intel10,
+        Design::Intel11,
+        Design::Intel12,
+        Design::Amd10h,
+        Design::Amd11h,
+        Design::Amd12h,
+        Design::Amd14h,
+        Design::Amd15h00,
+        Design::Amd15h10,
+        Design::Amd15h30,
+        Design::Amd15h70,
+        Design::Amd16h,
+        Design::Amd17h00,
+        Design::Amd17h30,
+        Design::Amd19h,
+    ];
+
+    /// The 16 Intel designs, in generation order.
+    pub fn intel() -> impl Iterator<Item = Design> {
+        Design::ALL.iter().copied().filter(|d| d.vendor() == Vendor::Intel)
+    }
+
+    /// The 12 AMD designs, in family order.
+    pub fn amd() -> impl Iterator<Item = Design> {
+        Design::ALL.iter().copied().filter(|d| d.vendor() == Vendor::Amd)
+    }
+
+    fn info(&self) -> &'static DesignInfo {
+        let info = &DESIGN_INFOS[self.index()];
+        debug_assert_eq!(info.design, *self);
+        info
+    }
+
+    /// Position of this design on the canonical axis (0..28).
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
+    /// Vendor of the design.
+    pub fn vendor(&self) -> Vendor {
+        self.info().vendor
+    }
+
+    /// Market segment of the errata document.
+    pub fn segment(&self) -> Segment {
+        self.info().segment
+    }
+
+    /// Vendor document reference, e.g. `332689-028US` or `56683-1.04`.
+    pub fn reference(&self) -> &'static str {
+        self.info().reference
+    }
+
+    /// Short human-readable label, e.g. `Core 6` or `Fam. 15h 30-3F`.
+    pub fn label(&self) -> &'static str {
+        self.info().label
+    }
+
+    /// Approximate commercial release date of the design.
+    pub fn release_date(&self) -> Date {
+        self.info().release
+    }
+
+    /// Inclusive range of Intel Core generations covered by this document
+    /// (`None` for AMD designs). `Intel7_8` covers `(7, 8)`.
+    pub fn intel_generation_span(&self) -> Option<(u8, u8)> {
+        match self.vendor() {
+            Vendor::Intel => Some(self.info().span),
+            Vendor::Amd => None,
+        }
+    }
+
+    /// AMD family number (`None` for Intel designs).
+    pub fn amd_family(&self) -> Option<u8> {
+        match self.vendor() {
+            Vendor::Amd => Some(self.info().span.0),
+            Vendor::Intel => None,
+        }
+    }
+
+    /// AMD model range covered by the document (`None` for Intel designs).
+    pub fn amd_model_range(&self) -> Option<(u8, u8)> {
+        match self.vendor() {
+            Vendor::Amd => Some(self.info().models),
+            Vendor::Intel => None,
+        }
+    }
+
+    /// True if this document covers the given Intel Core generation.
+    pub fn covers_intel_generation(&self, generation: u8) -> bool {
+        self.intel_generation_span()
+            .is_some_and(|(lo, hi)| (lo..=hi).contains(&generation))
+    }
+
+    /// Steppings of the design, in production order. The last stepping is
+    /// the one fixes land in ("Summary Table of Changes" rows).
+    pub fn steppings(&self) -> &'static [&'static str] {
+        match self.vendor() {
+            Vendor::Intel => &["A0", "B0", "C0", "D0"],
+            Vendor::Amd => &["A0", "B1", "B2"],
+        }
+    }
+
+    /// Erratum identifier prefix used by this document's numbering scheme.
+    ///
+    /// Intel errata carry per-document alphabetic prefixes (e.g. `ADL` for
+    /// Alder Lake); AMD errata are plain numbers, so the prefix is empty.
+    pub fn erratum_prefix(&self) -> &'static str {
+        match self {
+            Design::Intel1D => "AAJ",
+            Design::Intel1M => "AAT",
+            Design::Intel2D => "BJ",
+            Design::Intel2M => "BK",
+            Design::Intel3D => "BV",
+            Design::Intel3M => "BU",
+            Design::Intel4D => "HSD",
+            Design::Intel4M => "HSM",
+            Design::Intel5D => "BDD",
+            Design::Intel5M => "BDM",
+            Design::Intel6 => "SKL",
+            Design::Intel7_8 => "KBL",
+            Design::Intel8_9 => "CFL",
+            Design::Intel10 => "CML",
+            Design::Intel11 => "RKL",
+            Design::Intel12 => "ADL",
+            _ => "",
+        }
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Design {
+    type Err = ModelError;
+
+    /// Parses either a label (`Core 6`) or a document reference
+    /// (`332689-028US`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Design::ALL
+            .iter()
+            .copied()
+            .find(|design| design.label() == s || design.reference() == s)
+            .ok_or_else(|| ModelError::UnknownDesign(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_eight_designs_sixteen_intel_twelve_amd() {
+        assert_eq!(Design::ALL.len(), 28);
+        assert_eq!(Design::intel().count(), 16);
+        assert_eq!(Design::amd().count(), 12);
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, design) in Design::ALL.iter().enumerate() {
+            assert_eq!(design.index(), i);
+        }
+    }
+
+    #[test]
+    fn references_are_unique() {
+        let mut refs: Vec<&str> = Design::ALL.iter().map(|d| d.reference()).collect();
+        refs.sort_unstable();
+        refs.dedup();
+        assert_eq!(refs.len(), 28);
+    }
+
+    #[test]
+    fn segments_match_publication_policy() {
+        // Separate Desktop/Mobile documents until generation 5, unified after.
+        for design in Design::intel() {
+            let (lo, _) = design.intel_generation_span().unwrap();
+            if lo <= 5 {
+                assert_ne!(design.segment(), Segment::Unified, "{design}");
+            } else {
+                assert_eq!(design.segment(), Segment::Unified, "{design}");
+            }
+        }
+        for design in Design::amd() {
+            assert_eq!(design.segment(), Segment::Unified);
+        }
+    }
+
+    #[test]
+    fn generation_span_covers() {
+        assert!(Design::Intel7_8.covers_intel_generation(7));
+        assert!(Design::Intel7_8.covers_intel_generation(8));
+        assert!(!Design::Intel7_8.covers_intel_generation(9));
+        assert!(!Design::Amd19h.covers_intel_generation(19));
+    }
+
+    #[test]
+    fn amd_metadata() {
+        assert_eq!(Design::Amd15h30.amd_family(), Some(0x15));
+        assert_eq!(Design::Amd15h30.amd_model_range(), Some((0x30, 0x3F)));
+        assert_eq!(Design::Intel6.amd_family(), None);
+    }
+
+    #[test]
+    fn release_dates_are_nondecreasing_within_intel_unified_era() {
+        let unified: Vec<Design> = Design::intel()
+            .filter(|d| d.segment() == Segment::Unified)
+            .collect();
+        for pair in unified.windows(2) {
+            assert!(pair[0].release_date() < pair[1].release_date());
+        }
+    }
+
+    #[test]
+    fn parse_by_label_and_reference() {
+        assert_eq!("Core 6".parse::<Design>().unwrap(), Design::Intel6);
+        assert_eq!("56683-1.04".parse::<Design>().unwrap(), Design::Amd19h);
+        assert!("Core 99".parse::<Design>().is_err());
+    }
+
+    #[test]
+    fn intel_prefixes_unique_and_nonempty() {
+        let mut prefixes: Vec<&str> = Design::intel().map(|d| d.erratum_prefix()).collect();
+        assert!(prefixes.iter().all(|p| !p.is_empty()));
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        assert_eq!(prefixes.len(), 16);
+        assert!(Design::amd().all(|d| d.erratum_prefix().is_empty()));
+    }
+
+    #[test]
+    fn steppings_are_nonempty_and_unique() {
+        for design in Design::ALL {
+            let steppings = design.steppings();
+            assert!(!steppings.is_empty());
+            let mut sorted = steppings.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), steppings.len());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&Design::Intel8_9).unwrap();
+        let back: Design = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Design::Intel8_9);
+    }
+}

@@ -1,0 +1,262 @@
+//! Structured errata documents: revision history plus erratum list.
+
+use serde::{Deserialize, Serialize};
+
+use crate::date::Date;
+use crate::design::Design;
+use crate::erratum::{DateSource, Erratum, Provenance};
+
+/// One row of the document's "Summary Table of Changes": an erratum whose
+/// root cause was fixed, and the stepping that carries the fix.
+///
+/// Intel status fields point here ("For the steppings affected, refer to
+/// the Summary Table of Changes", Table I of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedIn {
+    /// Erratum number within the document.
+    pub number: u32,
+    /// The stepping carrying the fix, e.g. `C0`.
+    pub stepping: String,
+}
+
+/// One revision of an errata document, as summarized in the document's
+/// revision-history table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Revision {
+    /// Revision number (monotonically increasing).
+    pub number: u32,
+    /// Release or update date of the revision.
+    pub date: Date,
+    /// Erratum numbers this revision claims to have added.
+    ///
+    /// The claims can be wrong: the same erratum may be claimed by two
+    /// consecutive revisions, and some errata are never claimed at all —
+    /// both are documented "errata in errata" defect types.
+    pub added: Vec<u32>,
+}
+
+/// A structured errata document: the design it covers, its revision history
+/// and all errata it lists.
+///
+/// Both ends of the pipeline use this type: the corpus generator produces it
+/// (before rendering to text) and the extraction pipeline reconstructs it
+/// (after parsing the text).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrataDocument {
+    /// The design the document covers.
+    pub design: Design,
+    /// Revision history, in revision order.
+    pub revisions: Vec<Revision>,
+    /// All listed errata, in document (number) order.
+    pub errata: Vec<Erratum>,
+    /// Summary table of changes: fixed errata and their fixing steppings.
+    #[serde(default)]
+    pub fix_summary: Vec<FixedIn>,
+}
+
+impl ErrataDocument {
+    /// Creates an empty document for a design.
+    pub fn new(design: Design) -> Self {
+        Self {
+            design,
+            revisions: Vec::new(),
+            errata: Vec::new(),
+            fix_summary: Vec::new(),
+        }
+    }
+
+    /// The fixing stepping for an erratum number, if the summary table of
+    /// changes lists one.
+    pub fn fixed_in(&self, number: u32) -> Option<&str> {
+        self.fix_summary
+            .iter()
+            .find(|f| f.number == number)
+            .map(|f| f.stepping.as_str())
+    }
+
+    /// Number of errata listed.
+    pub fn len(&self) -> usize {
+        self.errata.len()
+    }
+
+    /// True if no errata are listed.
+    pub fn is_empty(&self) -> bool {
+        self.errata.is_empty()
+    }
+
+    /// The latest revision, if any.
+    pub fn latest_revision(&self) -> Option<&Revision> {
+        self.revisions.last()
+    }
+
+    /// Finds an erratum by number.
+    pub fn erratum(&self, number: u32) -> Option<&Erratum> {
+        self.errata.iter().find(|e| e.id.number == number)
+    }
+
+    /// Approximates the disclosure date of every erratum (Section IV-B1).
+    ///
+    /// For each erratum the *earliest* revision claiming to have added it
+    /// provides the date (this resolves the contradicting-claims defect).
+    /// Errata never mentioned in the revision summary are dated by
+    /// interpolation: errata are sequentially numbered, so the nearest
+    /// *numbered neighbor* with a known revision supplies the date.
+    ///
+    /// Returns one [`Provenance`] per erratum, parallel to `self.errata`.
+    pub fn approximate_disclosure_dates(&self) -> Vec<Provenance> {
+        let mut claimed: std::collections::BTreeMap<u32, (u32, Date, DateSource)> =
+            std::collections::BTreeMap::new();
+        for rev in &self.revisions {
+            for &number in &rev.added {
+                claimed
+                    .entry(number)
+                    .and_modify(|entry| {
+                        // A later revision claims it again: keep the earlier
+                        // date and mark the contradiction.
+                        entry.2 = DateSource::EarlierOfContradicting;
+                    })
+                    .or_insert((rev.number, rev.date, DateSource::RevisionLog));
+            }
+        }
+
+        self.errata
+            .iter()
+            .map(|e| {
+                if let Some(&(rev, date, source)) = claimed.get(&e.id.number) {
+                    Provenance {
+                        first_revision: rev,
+                        disclosure_date: date,
+                        date_source: source,
+                    }
+                } else {
+                    // Neighbor interpolation: nearest claimed number wins,
+                    // ties broken toward the earlier (lower) neighbor.
+                    let neighbor = claimed
+                        .iter()
+                        .min_by_key(|(n, _)| (n.abs_diff(e.id.number), **n))
+                        .map(|(_, v)| *v);
+                    match neighbor {
+                        Some((rev, date, _)) => Provenance {
+                            first_revision: rev,
+                            disclosure_date: date,
+                            date_source: DateSource::NeighborInterpolation,
+                        },
+                        None => Provenance {
+                            // Degenerate document without a revision log:
+                            // fall back to the design release date.
+                            first_revision: 0,
+                            disclosure_date: self.design.release_date(),
+                            date_source: DateSource::NeighborInterpolation,
+                        },
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erratum::ErratumId;
+
+    fn erratum(design: Design, number: u32) -> Erratum {
+        Erratum {
+            id: ErratumId::new(design, number),
+            title: format!("Erratum number {number} title"),
+            description: "Some condition causes some behavior.".to_string(),
+            implications: "System may hang.".to_string(),
+            workaround: "None identified.".to_string(),
+            status: "No fix planned.".to_string(),
+        }
+    }
+
+    fn date(y: i32, m: u8) -> Date {
+        Date::new(y, m, 1).unwrap()
+    }
+
+    fn sample_doc() -> ErrataDocument {
+        let design = Design::Intel6;
+        ErrataDocument {
+            design,
+            revisions: vec![
+                Revision { number: 1, date: date(2015, 9), added: vec![1, 2] },
+                Revision { number: 2, date: date(2016, 2), added: vec![3] },
+                // Contradicting claim: revision 3 pretends to add 3 again.
+                Revision { number: 3, date: date(2016, 8), added: vec![3, 5] },
+            ],
+            errata: (1..=5).map(|n| erratum(design, n)).collect(),
+            fix_summary: vec![FixedIn {
+                number: 2,
+                stepping: "C0".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn revision_log_dates() {
+        let doc = sample_doc();
+        let prov = doc.approximate_disclosure_dates();
+        assert_eq!(prov[0].disclosure_date, date(2015, 9));
+        assert_eq!(prov[0].date_source, DateSource::RevisionLog);
+        assert_eq!(prov[1].first_revision, 1);
+    }
+
+    #[test]
+    fn contradicting_claims_take_earlier_revision() {
+        let doc = sample_doc();
+        let prov = doc.approximate_disclosure_dates();
+        // Erratum 3 claimed by revisions 2 and 3: earlier wins.
+        assert_eq!(prov[2].disclosure_date, date(2016, 2));
+        assert_eq!(prov[2].date_source, DateSource::EarlierOfContradicting);
+    }
+
+    #[test]
+    fn unmentioned_erratum_interpolates_from_neighbor() {
+        let doc = sample_doc();
+        let prov = doc.approximate_disclosure_dates();
+        // Erratum 4 is never claimed; nearest claimed neighbors are 3 and 5.
+        // Tie broken toward the lower number (3, added in revision 2).
+        assert_eq!(prov[3].date_source, DateSource::NeighborInterpolation);
+        assert_eq!(prov[3].disclosure_date, date(2016, 2));
+    }
+
+    #[test]
+    fn document_without_revisions_falls_back_to_release() {
+        let design = Design::Amd19h;
+        let doc = ErrataDocument {
+            design,
+            revisions: vec![],
+            errata: vec![erratum(design, 1000)],
+            fix_summary: Vec::new(),
+        };
+        let prov = doc.approximate_disclosure_dates();
+        assert_eq!(prov[0].disclosure_date, design.release_date());
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = sample_doc();
+        assert_eq!(doc.len(), 5);
+        assert!(!doc.is_empty());
+        assert_eq!(doc.latest_revision().unwrap().number, 3);
+        assert!(doc.erratum(4).is_some());
+        assert!(doc.erratum(99).is_none());
+        assert!(ErrataDocument::new(Design::Intel10).is_empty());
+    }
+
+    #[test]
+    fn fixed_in_lookup() {
+        let doc = sample_doc();
+        assert_eq!(doc.fixed_in(2), Some("C0"));
+        assert_eq!(doc.fixed_in(1), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let doc = sample_doc();
+        let json = serde_json::to_string(&doc).unwrap();
+        let back: ErrataDocument = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, doc);
+    }
+}

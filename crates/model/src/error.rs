@@ -1,0 +1,102 @@
+//! Error type for the model crate.
+
+use std::fmt;
+
+/// Errors produced when constructing or parsing model values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A calendar date with out-of-range components.
+    InvalidDate {
+        /// Year component of the rejected date.
+        year: i32,
+        /// Month component of the rejected date.
+        month: u8,
+        /// Day component of the rejected date.
+        day: u8,
+    },
+    /// A string could not be parsed as a date.
+    DateParse(String),
+    /// A string is not a known taxonomy category code.
+    UnknownCategory(String),
+    /// A string is not a known design identifier.
+    UnknownDesign(String),
+    /// A string is not a known MSR name.
+    UnknownMsr(String),
+    /// A machine-readable erratum record was malformed.
+    FormatParse {
+        /// Line number (1-based) where parsing failed.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An erratum field failed validation.
+    InvalidField {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidDate { year, month, day } => {
+                write!(f, "invalid date {year:04}-{month:02}-{day:02}")
+            }
+            ModelError::DateParse(s) => write!(f, "cannot parse date from {s:?}"),
+            ModelError::UnknownCategory(s) => write!(f, "unknown taxonomy category {s:?}"),
+            ModelError::UnknownDesign(s) => write!(f, "unknown design identifier {s:?}"),
+            ModelError::UnknownMsr(s) => write!(f, "unknown MSR name {s:?}"),
+            ModelError::FormatParse { line, reason } => {
+                write!(f, "format parse error at line {line}: {reason}")
+            }
+            ModelError::InvalidField { field, reason } => {
+                write!(f, "invalid field {field}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let samples: Vec<ModelError> = vec![
+            ModelError::InvalidDate {
+                year: 2020,
+                month: 13,
+                day: 1,
+            },
+            ModelError::DateParse("x".into()),
+            ModelError::UnknownCategory("Trg_FOO".into()),
+            ModelError::UnknownDesign("core-99".into()),
+            ModelError::UnknownMsr("MSR_X".into()),
+            ModelError::FormatParse {
+                line: 3,
+                reason: "missing colon".into(),
+            },
+            ModelError::InvalidField {
+                field: "title",
+                reason: "empty".into(),
+            },
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("cannot"));
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<ModelError>();
+    }
+}

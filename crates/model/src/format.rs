@@ -1,0 +1,354 @@
+//! The machine-readable erratum format proposed by the paper (Table VII).
+//!
+//! Current vendor errata spread information redundantly over title,
+//! description, implications and workaround fields. Table VII proposes a
+//! structured replacement; this module renders and parses it, so RemembERR
+//! entries can be exchanged in the proposed format.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::annotation::Annotation;
+use crate::error::ModelError;
+use crate::ids::UniqueKey;
+use crate::taxonomy::{Context, Effect, Trigger};
+
+/// An erratum in the proposed machine-readable format (Table VII).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineErratum {
+    /// Unique identifier shared with identical errata in other designs.
+    pub key: UniqueKey,
+    /// The erratum's title.
+    pub title: String,
+    /// Abstract and concrete triggers, contexts and effects.
+    pub annotation: Annotation,
+    /// Free-form qualifications (e.g. "does not apply if ...").
+    pub comments: String,
+    /// Root-cause explanation, if the vendor provides one (almost never).
+    pub root_cause: Option<String>,
+    /// Workaround text.
+    pub workaround: String,
+    /// Status text.
+    pub status: String,
+}
+
+fn write_level(
+    out: &mut String,
+    heading: &str,
+    abstract_codes: &[&str],
+    concrete: &[String],
+) {
+    out.push_str(heading);
+    out.push_str(":\n  Abstract: ");
+    out.push_str(&abstract_codes.join(", "));
+    out.push_str("\n  Concrete: ");
+    out.push_str(&concrete.join("; "));
+    out.push('\n');
+}
+
+impl MachineErratum {
+    /// Renders the Table VII textual form.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("ID: {}\n", self.key));
+        out.push_str(&format!("Title: {}\n", self.title));
+        write_level(
+            &mut out,
+            "Triggers",
+            &self.annotation.triggers.iter().map(|t| t.code()).collect::<Vec<_>>(),
+            &self.annotation.concrete_triggers,
+        );
+        write_level(
+            &mut out,
+            "Contexts",
+            &self.annotation.contexts.iter().map(|c| c.code()).collect::<Vec<_>>(),
+            &self.annotation.concrete_contexts,
+        );
+        write_level(
+            &mut out,
+            "Effects",
+            &self.annotation.effects.iter().map(|e| e.code()).collect::<Vec<_>>(),
+            &self.annotation.concrete_effects,
+        );
+        out.push_str(&format!(
+            "MSRs: {}\n",
+            self.annotation
+                .msrs
+                .iter()
+                .map(|m| m.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+        out.push_str(&format!(
+            "Complex conditions: {}\n",
+            if self.annotation.complex_conditions { "yes" } else { "no" }
+        ));
+        out.push_str(&format!("Comments: {}\n", self.comments));
+        out.push_str(&format!(
+            "Root cause: {}\n",
+            self.root_cause.as_deref().unwrap_or("[not provided]")
+        ));
+        out.push_str(&format!("Workaround: {}\n", self.workaround));
+        out.push_str(&format!("Status: {}\n", self.status));
+        out
+    }
+}
+
+impl fmt::Display for MachineErratum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Internal line cursor for parsing.
+struct Lines<'a> {
+    lines: std::iter::Peekable<std::iter::Enumerate<std::str::Lines<'a>>>,
+}
+
+impl<'a> Lines<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            lines: s.lines().enumerate().peekable(),
+        }
+    }
+
+    /// Takes the next line and strips `prefix`, failing otherwise.
+    fn expect(&mut self, prefix: &str) -> Result<(usize, String), ModelError> {
+        match self.lines.next() {
+            Some((i, line)) => match line.strip_prefix(prefix) {
+                Some(rest) => Ok((i + 1, rest.trim().to_string())),
+                None => Err(ModelError::FormatParse {
+                    line: i + 1,
+                    reason: format!("expected prefix {prefix:?}, got {line:?}"),
+                }),
+            },
+            None => Err(ModelError::FormatParse {
+                line: 0,
+                reason: format!("unexpected end of record, expected {prefix:?}"),
+            }),
+        }
+    }
+}
+
+fn parse_codes<T: FromStr<Err = ModelError>>(
+    line_no: usize,
+    text: &str,
+) -> Result<Vec<T>, ModelError> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|code| {
+            code.trim().parse::<T>().map_err(|_| ModelError::FormatParse {
+                line: line_no,
+                reason: format!("unknown category code {:?}", code.trim()),
+            })
+        })
+        .collect()
+}
+
+/// Parses the `NAME (MSR 0xADDR)` list written by [`MachineErratum::render`].
+fn parse_msrs(line_no: usize, text: &str) -> Result<Vec<crate::msr::MsrRef>, ModelError> {
+    if text.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(';')
+        .map(|part| {
+            let part = part.trim();
+            let bad = || ModelError::FormatParse {
+                line: line_no,
+                reason: format!("bad MSR reference {part:?}"),
+            };
+            let (name_text, rest) = part.split_once(" (MSR 0x").ok_or_else(bad)?;
+            let hex = rest.strip_suffix(')').ok_or_else(bad)?;
+            let name: crate::msr::MsrName = name_text.trim().parse().map_err(|_| bad())?;
+            let claimed_address = u32::from_str_radix(hex, 16).map_err(|_| bad())?;
+            Ok(crate::msr::MsrRef {
+                name,
+                claimed_address,
+            })
+        })
+        .collect()
+}
+
+fn parse_concretes(text: &str) -> Vec<String> {
+    if text.is_empty() {
+        Vec::new()
+    } else {
+        text.split(';').map(|s| s.trim().to_string()).collect()
+    }
+}
+
+impl FromStr for MachineErratum {
+    type Err = ModelError;
+
+    /// Parses the Table VII textual form produced by [`MachineErratum::render`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut cur = Lines::new(s);
+        let (id_line, id_text) = cur.expect("ID: ")?;
+        let key_num: u32 = id_text
+            .strip_prefix('K')
+            .and_then(|n| n.parse().ok())
+            .ok_or(ModelError::FormatParse {
+                line: id_line,
+                reason: format!("bad unique key {id_text:?}"),
+            })?;
+        let (_, title) = cur.expect("Title: ")?;
+
+        cur.expect("Triggers:")?;
+        let (tl, trg_abs) = cur.expect("  Abstract: ")?;
+        let (_, trg_conc) = cur.expect("  Concrete: ")?;
+        cur.expect("Contexts:")?;
+        let (cl, ctx_abs) = cur.expect("  Abstract: ")?;
+        let (_, ctx_conc) = cur.expect("  Concrete: ")?;
+        cur.expect("Effects:")?;
+        let (el, eff_abs) = cur.expect("  Abstract: ")?;
+        let (_, eff_conc) = cur.expect("  Concrete: ")?;
+
+        let (ml, msr_text) = cur.expect("MSRs: ")?;
+        let (_, complex_text) = cur.expect("Complex conditions: ")?;
+        let (_, comments) = cur.expect("Comments: ")?;
+        let (_, root_cause) = cur.expect("Root cause: ")?;
+        let (_, workaround) = cur.expect("Workaround: ")?;
+        let (_, status) = cur.expect("Status: ")?;
+
+        let mut annotation = Annotation::new();
+        for t in parse_codes::<Trigger>(tl, &trg_abs)? {
+            annotation.triggers.insert(t);
+        }
+        for c in parse_codes::<Context>(cl, &ctx_abs)? {
+            annotation.contexts.insert(c);
+        }
+        for e in parse_codes::<Effect>(el, &eff_abs)? {
+            annotation.effects.insert(e);
+        }
+        annotation.concrete_triggers = parse_concretes(&trg_conc);
+        annotation.concrete_contexts = parse_concretes(&ctx_conc);
+        annotation.concrete_effects = parse_concretes(&eff_conc);
+        annotation.msrs = parse_msrs(ml, &msr_text)?;
+        annotation.complex_conditions = complex_text == "yes";
+
+        Ok(MachineErratum {
+            key: UniqueKey(key_num),
+            title,
+            annotation,
+            comments,
+            root_cause: if root_cause == "[not provided]" {
+                None
+            } else {
+                Some(root_cause)
+            },
+            workaround,
+            status,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table VII example: erratum ADL001 in the proposed format.
+    fn table_vii_example() -> MachineErratum {
+        MachineErratum {
+            key: UniqueKey(1),
+            title: "x87 FDP Value May be Saved Incorrectly".to_string(),
+            annotation: Annotation::builder()
+                .trigger(
+                    Trigger::FloatingPoint,
+                    "Execution of FSAVE, FNSAVE, FSTENV, or FNSTENV",
+                )
+                .context(
+                    Context::RealMode,
+                    "Operating in real-address mode or virtual-8086 mode",
+                )
+                .effect(Effect::Unpredictable, "Incorrect value for the x87 FDP")
+                .build(),
+            comments: "This erratum does not apply if the last non-control x87 instruction had \
+                       an unmasked exception."
+                .to_string(),
+            root_cause: None,
+            workaround: "None identified.".to_string(),
+            status: "No fix.".to_string(),
+        }
+    }
+
+    #[test]
+    fn render_matches_table_vii_shape() {
+        let rendered = table_vii_example().render();
+        assert!(rendered.starts_with("ID: K00001\n"));
+        assert!(rendered.contains("  Abstract: Trg_FEA_fpu\n"));
+        assert!(rendered.contains("  Abstract: Ctx_PRV_rea\n"));
+        assert!(rendered.contains("  Abstract: Eff_HNG_unp\n"));
+        assert!(rendered.contains("Root cause: [not provided]\n"));
+        assert!(rendered.contains("MSRs: \n"));
+        assert!(rendered.contains("Complex conditions: no\n"));
+    }
+
+    #[test]
+    fn roundtrip_with_msrs_and_complex_flag() {
+        use crate::msr::{MsrName, MsrRef};
+        let mut e = table_vii_example();
+        e.annotation = Annotation::builder()
+            .effect(Effect::MsrValue, "wrong MC status")
+            .msr(MsrRef::canonical(MsrName::McStatus))
+            .msr(MsrRef {
+                name: MsrName::Aperf,
+                claimed_address: 0xDEAD,
+            })
+            .complex_conditions()
+            .build();
+        let parsed: MachineErratum = e.render().parse().unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let original = table_vii_example();
+        let parsed: MachineErratum = original.render().parse().unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn roundtrip_with_multiple_categories_and_root_cause() {
+        let mut e = table_vii_example();
+        e.annotation = Annotation::builder()
+            .trigger(Trigger::Reset, "warm reset")
+            .trigger(Trigger::Pcie, "PCIe traffic")
+            .effect(Effect::Hang, "hang")
+            .effect(Effect::Pcie, "link degraded")
+            .build();
+        e.root_cause = Some("race in link state machine".to_string());
+        let parsed: MachineErratum = e.render().parse().unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn roundtrip_with_empty_annotation() {
+        let mut e = table_vii_example();
+        e.annotation = Annotation::new();
+        let parsed: MachineErratum = e.render().parse().unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = "garbage".parse::<MachineErratum>().unwrap_err();
+        match err {
+            ModelError::FormatParse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let bad_code = table_vii_example()
+            .render()
+            .replace("Trg_FEA_fpu", "Trg_FEA_xyz");
+        assert!(bad_code.parse::<MachineErratum>().is_err());
+    }
+
+    #[test]
+    fn display_equals_render() {
+        let e = table_vii_example();
+        assert_eq!(e.to_string(), e.render());
+    }
+}

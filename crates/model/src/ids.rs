@@ -1,0 +1,54 @@
+//! Identifier newtypes shared across the pipeline.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Unique identifier of a *bug*, shared by all identical errata across
+/// documents (the "keying mechanism" of Section IV-A).
+///
+/// Two errata with the same `UniqueKey` describe the same underlying design
+/// flaw; deduplicated ("unique errata") analyses work per key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UniqueKey(pub u32);
+
+impl UniqueKey {
+    /// Numeric value of the key.
+    pub fn value(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for UniqueKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "K{:05}", self.0)
+    }
+}
+
+impl From<u32> for UniqueKey {
+    fn from(v: u32) -> Self {
+        UniqueKey(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_zero_padded() {
+        assert_eq!(UniqueKey(42).to_string(), "K00042");
+        assert_eq!(UniqueKey(123_456).to_string(), "K123456");
+    }
+
+    #[test]
+    fn conversions() {
+        let k: UniqueKey = 7u32.into();
+        assert_eq!(k.value(), 7);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(UniqueKey(2) < UniqueKey(10));
+    }
+}

@@ -1,0 +1,286 @@
+//! Model Specific Registers (MSRs) referenced by errata.
+//!
+//! Figure 19 of the paper ranks the MSRs in which observable effects
+//! manifest: machine-check status registers dominate (7.1%-8.5% of unique
+//! errata), followed by Instruction Based Sampling registers and performance
+//! counters. Errata documents also contain *wrong* MSR numbers (one of the
+//! "errata in errata" defect types), so the registry here doubles as a
+//! validator used by the extraction pipeline.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::design::Vendor;
+use crate::error::ModelError;
+
+/// A named architectural or model-specific register tracked by the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // names mirror vendor documentation
+pub enum MsrName {
+    McStatus,
+    McAddr,
+    McMisc,
+    McgStatus,
+    McgCap,
+    IbsFetchCtl,
+    IbsOpCtl,
+    IbsOpData,
+    PerfCtr,
+    PerfEvtSel,
+    FixedCtr,
+    Aperf,
+    Mperf,
+    Tsc,
+    ApicBase,
+    PStateStatus,
+    ThermStatus,
+    PkgEnergyStatus,
+    SmiCount,
+    DebugCtl,
+    LastBranchRecord,
+    Efer,
+    Pat,
+    MtrrCap,
+    VmCr,
+    SpecCtrl,
+}
+
+/// Static registry row for an MSR.
+struct MsrInfo {
+    name: MsrName,
+    text: &'static str,
+    /// Canonical register number (for banked registers, the base of bank 0).
+    address: u32,
+    /// `None` = architectural / both vendors.
+    vendor: Option<Vendor>,
+    /// True if the register is replicated per bank/counter (MCx_*, PerfCtr).
+    banked: bool,
+}
+
+const MSR_INFOS: [MsrInfo; 26] = [
+    MsrInfo { name: MsrName::McStatus, text: "MCx_STATUS", address: 0x0401, vendor: None, banked: true },
+    MsrInfo { name: MsrName::McAddr, text: "MCx_ADDR", address: 0x0402, vendor: None, banked: true },
+    MsrInfo { name: MsrName::McMisc, text: "MCx_MISC", address: 0x0403, vendor: None, banked: true },
+    MsrInfo { name: MsrName::McgStatus, text: "MCG_STATUS", address: 0x017A, vendor: None, banked: false },
+    MsrInfo { name: MsrName::McgCap, text: "MCG_CAP", address: 0x0179, vendor: None, banked: false },
+    MsrInfo { name: MsrName::IbsFetchCtl, text: "IBS_FETCH_CTL", address: 0xC001_1030, vendor: Some(Vendor::Amd), banked: false },
+    MsrInfo { name: MsrName::IbsOpCtl, text: "IBS_OP_CTL", address: 0xC001_1033, vendor: Some(Vendor::Amd), banked: false },
+    MsrInfo { name: MsrName::IbsOpData, text: "IBS_OP_DATA", address: 0xC001_1035, vendor: Some(Vendor::Amd), banked: false },
+    MsrInfo { name: MsrName::PerfCtr, text: "PERF_CTR", address: 0x00C1, vendor: None, banked: true },
+    MsrInfo { name: MsrName::PerfEvtSel, text: "PERF_EVT_SEL", address: 0x0186, vendor: None, banked: true },
+    MsrInfo { name: MsrName::FixedCtr, text: "FIXED_CTR", address: 0x0309, vendor: Some(Vendor::Intel), banked: true },
+    MsrInfo { name: MsrName::Aperf, text: "APERF", address: 0x00E8, vendor: None, banked: false },
+    MsrInfo { name: MsrName::Mperf, text: "MPERF", address: 0x00E7, vendor: None, banked: false },
+    MsrInfo { name: MsrName::Tsc, text: "TSC", address: 0x0010, vendor: None, banked: false },
+    MsrInfo { name: MsrName::ApicBase, text: "APIC_BASE", address: 0x001B, vendor: None, banked: false },
+    MsrInfo { name: MsrName::PStateStatus, text: "PSTATE_STATUS", address: 0xC001_0063, vendor: Some(Vendor::Amd), banked: false },
+    MsrInfo { name: MsrName::ThermStatus, text: "THERM_STATUS", address: 0x019C, vendor: Some(Vendor::Intel), banked: false },
+    MsrInfo { name: MsrName::PkgEnergyStatus, text: "PKG_ENERGY_STATUS", address: 0x0611, vendor: Some(Vendor::Intel), banked: false },
+    MsrInfo { name: MsrName::SmiCount, text: "SMI_COUNT", address: 0x0034, vendor: Some(Vendor::Intel), banked: false },
+    MsrInfo { name: MsrName::DebugCtl, text: "DEBUG_CTL", address: 0x01D9, vendor: None, banked: false },
+    MsrInfo { name: MsrName::LastBranchRecord, text: "LBR_FROM_IP", address: 0x0680, vendor: Some(Vendor::Intel), banked: true },
+    MsrInfo { name: MsrName::Efer, text: "EFER", address: 0xC000_0080, vendor: None, banked: false },
+    MsrInfo { name: MsrName::Pat, text: "PAT", address: 0x0277, vendor: None, banked: false },
+    MsrInfo { name: MsrName::MtrrCap, text: "MTRR_CAP", address: 0x00FE, vendor: None, banked: false },
+    MsrInfo { name: MsrName::VmCr, text: "VM_CR", address: 0xC001_0114, vendor: Some(Vendor::Amd), banked: false },
+    MsrInfo { name: MsrName::SpecCtrl, text: "SPEC_CTRL", address: 0x0048, vendor: None, banked: false },
+];
+
+impl MsrName {
+    /// All registry entries, in registry order.
+    pub const ALL: [MsrName; 26] = [
+        MsrName::McStatus,
+        MsrName::McAddr,
+        MsrName::McMisc,
+        MsrName::McgStatus,
+        MsrName::McgCap,
+        MsrName::IbsFetchCtl,
+        MsrName::IbsOpCtl,
+        MsrName::IbsOpData,
+        MsrName::PerfCtr,
+        MsrName::PerfEvtSel,
+        MsrName::FixedCtr,
+        MsrName::Aperf,
+        MsrName::Mperf,
+        MsrName::Tsc,
+        MsrName::ApicBase,
+        MsrName::PStateStatus,
+        MsrName::ThermStatus,
+        MsrName::PkgEnergyStatus,
+        MsrName::SmiCount,
+        MsrName::DebugCtl,
+        MsrName::LastBranchRecord,
+        MsrName::Efer,
+        MsrName::Pat,
+        MsrName::MtrrCap,
+        MsrName::VmCr,
+        MsrName::SpecCtrl,
+    ];
+
+    fn info(&self) -> &'static MsrInfo {
+        let info = &MSR_INFOS[*self as usize];
+        debug_assert_eq!(info.name, *self);
+        info
+    }
+
+    /// The documentation-style register name, e.g. `MCx_STATUS`.
+    pub fn text(&self) -> &'static str {
+        self.info().text
+    }
+
+    /// The canonical register number (bank 0 for banked registers).
+    pub fn canonical_address(&self) -> u32 {
+        self.info().address
+    }
+
+    /// Vendor the register is specific to; `None` if it exists on both.
+    pub fn vendor(&self) -> Option<Vendor> {
+        self.info().vendor
+    }
+
+    /// True if the register is replicated per bank or counter index.
+    pub fn is_banked(&self) -> bool {
+        self.info().banked
+    }
+
+    /// True if the register is available on the given vendor's parts.
+    pub fn available_on(&self, vendor: Vendor) -> bool {
+        self.info().vendor.is_none_or(|v| v == vendor)
+    }
+
+    /// True if `address` is a plausible number for this register.
+    ///
+    /// Banked registers occupy a window of 4 x 32 banks above the base;
+    /// non-banked registers must match exactly. The extraction pipeline uses
+    /// this to flag the "erroneous MSR numbers" defect class.
+    pub fn accepts_address(&self, address: u32) -> bool {
+        let base = self.canonical_address();
+        if self.is_banked() {
+            address >= base && address < base + 4 * 32
+        } else {
+            address == base
+        }
+    }
+
+    /// Looks up a register by its documentation-style name.
+    pub fn lookup(text: &str) -> Option<MsrName> {
+        MsrName::ALL.iter().copied().find(|m| m.text() == text)
+    }
+}
+
+impl fmt::Display for MsrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text())
+    }
+}
+
+impl FromStr for MsrName {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        MsrName::lookup(s).ok_or_else(|| ModelError::UnknownMsr(s.to_string()))
+    }
+}
+
+/// A concrete MSR reference as printed in an erratum: a name plus the
+/// register number the document claims it has.
+///
+/// The claimed number may be wrong — three errata across three documents
+/// carry erroneous MSR numbers (paper, Section IV-A). [`MsrRef::is_consistent`]
+/// detects this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MsrRef {
+    /// Which register the text names.
+    pub name: MsrName,
+    /// The register number the document prints next to the name.
+    pub claimed_address: u32,
+}
+
+impl MsrRef {
+    /// A reference using the canonical register number.
+    pub fn canonical(name: MsrName) -> Self {
+        Self {
+            name,
+            claimed_address: name.canonical_address(),
+        }
+    }
+
+    /// True if the claimed number is plausible for the named register.
+    pub fn is_consistent(&self) -> bool {
+        self.name.accepts_address(self.claimed_address)
+    }
+}
+
+impl fmt::Display for MsrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (MSR {:#06X})", self.name, self.claimed_address)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        for (i, name) in MsrName::ALL.iter().enumerate() {
+            assert_eq!(*name as usize, i);
+            assert_eq!(MSR_INFOS[i].name, *name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut texts: Vec<&str> = MsrName::ALL.iter().map(|m| m.text()).collect();
+        texts.sort_unstable();
+        texts.dedup();
+        assert_eq!(texts.len(), MsrName::ALL.len());
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        for name in MsrName::ALL {
+            assert_eq!(MsrName::lookup(name.text()), Some(name));
+            assert_eq!(name.text().parse::<MsrName>().unwrap(), name);
+        }
+        assert!(MsrName::lookup("NOT_AN_MSR").is_none());
+    }
+
+    #[test]
+    fn vendor_availability() {
+        assert!(MsrName::McStatus.available_on(Vendor::Intel));
+        assert!(MsrName::McStatus.available_on(Vendor::Amd));
+        assert!(MsrName::IbsOpCtl.available_on(Vendor::Amd));
+        assert!(!MsrName::IbsOpCtl.available_on(Vendor::Intel));
+        assert!(MsrName::ThermStatus.available_on(Vendor::Intel));
+        assert!(!MsrName::ThermStatus.available_on(Vendor::Amd));
+    }
+
+    #[test]
+    fn banked_address_windows() {
+        assert!(MsrName::McStatus.accepts_address(0x0401));
+        assert!(MsrName::McStatus.accepts_address(0x0401 + 4 * 10)); // bank 10
+        assert!(!MsrName::McStatus.accepts_address(0x0300));
+        assert!(MsrName::Tsc.accepts_address(0x0010));
+        assert!(!MsrName::Tsc.accepts_address(0x0011));
+    }
+
+    #[test]
+    fn msr_ref_consistency() {
+        let good = MsrRef::canonical(MsrName::Aperf);
+        assert!(good.is_consistent());
+        let bad = MsrRef {
+            name: MsrName::Aperf,
+            claimed_address: 0xDEAD,
+        };
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn display_shows_name_and_number() {
+        let r = MsrRef::canonical(MsrName::Tsc);
+        assert_eq!(r.to_string(), "TSC (MSR 0x0010)");
+    }
+}

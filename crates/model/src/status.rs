@@ -1,0 +1,246 @@
+//! Erratum status and workaround categories (Figures 6 and 7).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Whether the vendor fixed — or plans to fix — the root cause of a bug.
+///
+/// Fixes are distinct from workarounds: a fix removes the bug from the
+/// design (possibly requiring a re-spin), while a workaround dynamically
+/// prevents the bug from interfering with proper functionality. The paper
+/// finds that the vast majority of bugs are never fixed (Observation O6).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum FixStatus {
+    /// "No fix planned" — the bug remains for the lifetime of the parts.
+    #[default]
+    NoFixPlanned,
+    /// A fix is planned for a future stepping of the same design.
+    FixPlanned,
+    /// The bug was fixed in a later stepping (see summary table of changes).
+    Fixed,
+    /// The "erratum" was actually wrong documentation; the docs were fixed.
+    DocumentationChange,
+}
+
+impl FixStatus {
+    /// All statuses.
+    pub const ALL: [FixStatus; 4] = [
+        FixStatus::NoFixPlanned,
+        FixStatus::FixPlanned,
+        FixStatus::Fixed,
+        FixStatus::DocumentationChange,
+    ];
+
+    /// The phrase vendor documents print in the status field.
+    pub fn document_phrase(&self) -> &'static str {
+        match self {
+            FixStatus::NoFixPlanned => "No fix planned.",
+            FixStatus::FixPlanned => "A fix is planned for a future stepping.",
+            FixStatus::Fixed => "For the steppings affected, refer to the Summary Table of Changes.",
+            FixStatus::DocumentationChange => "Documentation changed to reflect intended behavior.",
+        }
+    }
+
+    /// Classifies a status field's text.
+    ///
+    /// Returns [`FixStatus::NoFixPlanned`] for unrecognized text, matching
+    /// the conservative default the study uses.
+    pub fn classify(text: &str) -> FixStatus {
+        let lower = text.to_ascii_lowercase();
+        if lower.contains("documentation") {
+            FixStatus::DocumentationChange
+        } else if lower.contains("summary table") || lower.contains("steppings affected") {
+            FixStatus::Fixed
+        } else if lower.contains("fix is planned") || lower.contains("future stepping") {
+            FixStatus::FixPlanned
+        } else {
+            FixStatus::NoFixPlanned
+        }
+    }
+
+    /// True if the root cause was, or will be, removed from the design.
+    pub fn is_fixed_or_planned(&self) -> bool {
+        matches!(self, FixStatus::Fixed | FixStatus::FixPlanned)
+    }
+}
+
+impl fmt::Display for FixStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FixStatus::NoFixPlanned => "no fix planned",
+            FixStatus::FixPlanned => "fix planned",
+            FixStatus::Fixed => "fixed",
+            FixStatus::DocumentationChange => "documentation change",
+        })
+    }
+}
+
+/// Where a workaround must be applied, i.e. which actor should (not) perform
+/// a specific action to ensure proper functionality (Section IV-B3).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum WorkaroundCategory {
+    /// Mitigable in the BIOS — arguably the least critical class.
+    Bios,
+    /// Requires conditions in system or application software.
+    Software,
+    /// Requires conditions in peripherals.
+    Peripherals,
+    /// A workaround exists but the document gives no specifics
+    /// ("Contact your representative for information on a BIOS update.").
+    Absent,
+    /// No workaround identified at all — 28.9% (AMD) and 35.9% (Intel) of
+    /// unique errata (Observation O5).
+    #[default]
+    None,
+    /// The document itself was corrected (<0.5% of errata).
+    DocumentationFix,
+}
+
+impl WorkaroundCategory {
+    /// All categories, in Figure 6 order.
+    pub const ALL: [WorkaroundCategory; 6] = [
+        WorkaroundCategory::Bios,
+        WorkaroundCategory::Software,
+        WorkaroundCategory::Peripherals,
+        WorkaroundCategory::Absent,
+        WorkaroundCategory::None,
+        WorkaroundCategory::DocumentationFix,
+    ];
+
+    /// A representative phrase a vendor document would print.
+    pub fn document_phrase(&self) -> &'static str {
+        match self {
+            WorkaroundCategory::Bios => {
+                "It is possible for the BIOS to contain a workaround for this erratum."
+            }
+            WorkaroundCategory::Software => {
+                "System software may contain the workaround for this erratum."
+            }
+            WorkaroundCategory::Peripherals => {
+                "The attached device should avoid the condition described above."
+            }
+            WorkaroundCategory::Absent => {
+                "Contact your representative for information on a BIOS update."
+            }
+            WorkaroundCategory::None => "None identified.",
+            WorkaroundCategory::DocumentationFix => {
+                "The documentation will be changed to reflect the intended behavior."
+            }
+        }
+    }
+
+    /// Classifies a workaround field's text.
+    ///
+    /// Whenever possible the text is put in a specific category even when
+    /// exact information is missing; truly uninformative "contact the
+    /// vendor" phrasing becomes [`WorkaroundCategory::Absent`].
+    pub fn classify(text: &str) -> WorkaroundCategory {
+        let lower = text.to_ascii_lowercase();
+        if lower.contains("none identified") || lower.trim() == "none" || lower.trim().is_empty() {
+            WorkaroundCategory::None
+        } else if lower.contains("documentation") {
+            WorkaroundCategory::DocumentationFix
+        } else if lower.contains("bios") && !lower.contains("contact") {
+            WorkaroundCategory::Bios
+        } else if lower.contains("device") || lower.contains("peripheral") {
+            WorkaroundCategory::Peripherals
+        } else if lower.contains("software") || lower.contains("operating system") {
+            WorkaroundCategory::Software
+        } else if lower.contains("contact") {
+            WorkaroundCategory::Absent
+        } else {
+            WorkaroundCategory::Absent
+        }
+    }
+
+    /// True if the erratum has *some* workaround, however vague.
+    pub fn has_workaround(&self) -> bool {
+        !matches!(self, WorkaroundCategory::None)
+    }
+}
+
+impl fmt::Display for WorkaroundCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WorkaroundCategory::Bios => "BIOS",
+            WorkaroundCategory::Software => "software",
+            WorkaroundCategory::Peripherals => "peripherals",
+            WorkaroundCategory::Absent => "absent",
+            WorkaroundCategory::None => "none",
+            WorkaroundCategory::DocumentationFix => "documentation fix",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classify_recognizes_document_phrases() {
+        for status in FixStatus::ALL {
+            assert_eq!(FixStatus::classify(status.document_phrase()), status);
+        }
+    }
+
+    #[test]
+    fn status_classify_real_examples() {
+        // Table I (Intel ADL001) and Table II (AMD 1361) status lines.
+        assert_eq!(
+            FixStatus::classify(
+                "For the steppings affected, refer to the Summary Table of Changes."
+            ),
+            FixStatus::Fixed
+        );
+        assert_eq!(FixStatus::classify("No fix planned."), FixStatus::NoFixPlanned);
+    }
+
+    #[test]
+    fn workaround_classify_recognizes_document_phrases() {
+        for cat in WorkaroundCategory::ALL {
+            assert_eq!(WorkaroundCategory::classify(cat.document_phrase()), cat);
+        }
+    }
+
+    #[test]
+    fn workaround_classify_real_examples() {
+        assert_eq!(
+            WorkaroundCategory::classify("None identified. Software should use the FDP value."),
+            WorkaroundCategory::None
+        );
+        assert_eq!(
+            WorkaroundCategory::classify(
+                "System software may contain the workaround for this erratum."
+            ),
+            WorkaroundCategory::Software
+        );
+    }
+
+    #[test]
+    fn vague_contact_is_absent() {
+        assert_eq!(
+            WorkaroundCategory::classify("Contact AMD for information on a BIOS update."),
+            WorkaroundCategory::Absent
+        );
+    }
+
+    #[test]
+    fn has_workaround() {
+        assert!(!WorkaroundCategory::None.has_workaround());
+        assert!(WorkaroundCategory::Bios.has_workaround());
+        assert!(WorkaroundCategory::Absent.has_workaround());
+    }
+
+    #[test]
+    fn fixed_or_planned() {
+        assert!(FixStatus::Fixed.is_fixed_or_planned());
+        assert!(FixStatus::FixPlanned.is_fixed_or_planned());
+        assert!(!FixStatus::NoFixPlanned.is_fixed_or_planned());
+        assert!(!FixStatus::DocumentationChange.is_fixed_or_planned());
+    }
+}

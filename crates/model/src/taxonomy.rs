@@ -1,0 +1,485 @@
+//! The hierarchical errata classification scheme (Tables IV, V and VI).
+//!
+//! The scheme has three levels:
+//!
+//! * the **concrete** level is free text taken from the erratum (stored in
+//!   [`crate::annotation::Annotation`]);
+//! * the **abstract** level is one of the 60 categories defined here
+//!   (34 triggers, 10 contexts, 16 effects);
+//! * the **class** level groups abstract categories into 15 classes
+//!   (8 trigger classes, 3 context classes, 4 effect classes).
+//!
+//! Category codes follow the paper's notation: a prefix selecting the kind
+//! (`Trg`/`Ctx`/`Eff`), a class suffix (`MBR`, `POW`, ...) and an abstract
+//! suffix (`cbr`, `pwc`, ...), e.g. `Trg_EXT_rst` is the trigger "a (cold or
+//! warm) reset" in the class "related to external inputs".
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// Defines a class enum + category enum pair with code/description tables.
+macro_rules! taxonomy {
+    (
+        kind: $kind_doc:literal, prefix: $prefix:literal,
+        class $class_name:ident, category $cat_name:ident;
+        $(
+            $class_variant:ident ($class_code:literal, $class_desc:literal) {
+                $( $variant:ident ($code:literal, $desc:literal) ),+ $(,)?
+            }
+        )+
+    ) => {
+        #[doc = concat!("Class-level ", $kind_doc, " category (highest abstraction level).")]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub enum $class_name {
+            $(
+                #[doc = $class_desc]
+                $class_variant,
+            )+
+        }
+
+        impl $class_name {
+            /// All classes, in table order.
+            pub const ALL: &'static [$class_name] = &[
+                $( $class_name::$class_variant, )+
+            ];
+
+            /// The paper's class descriptor, e.g. `Trg_EXT`.
+            pub fn code(&self) -> &'static str {
+                match self {
+                    $( $class_name::$class_variant => concat!($prefix, "_", $class_code), )+
+                }
+            }
+
+            /// One-sentence description from the paper's table.
+            pub fn description(&self) -> &'static str {
+                match self {
+                    $( $class_name::$class_variant => $class_desc, )+
+                }
+            }
+
+            /// Abstract categories belonging to this class, in table order.
+            pub fn categories(&self) -> &'static [$cat_name] {
+                match self {
+                    $(
+                        $class_name::$class_variant => &[
+                            $( $cat_name::$variant, )+
+                        ],
+                    )+
+                }
+            }
+
+            /// Position of this class in [`Self::ALL`].
+            pub fn index(&self) -> usize {
+                *self as usize
+            }
+        }
+
+        impl fmt::Display for $class_name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.code())
+            }
+        }
+
+        impl FromStr for $class_name {
+            type Err = ModelError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                Self::ALL
+                    .iter()
+                    .copied()
+                    .find(|c| c.code() == s)
+                    .ok_or_else(|| ModelError::UnknownCategory(s.to_string()))
+            }
+        }
+
+        #[doc = concat!("Abstract-level ", $kind_doc, " category (middle abstraction level).")]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub enum $cat_name {
+            $(
+                $(
+                    #[doc = $desc]
+                    $variant,
+                )+
+            )+
+        }
+
+        impl $cat_name {
+            /// All abstract categories, in table order.
+            pub const ALL: &'static [$cat_name] = &[
+                $( $( $cat_name::$variant, )+ )+
+            ];
+
+            /// The paper's abstract descriptor, e.g. `Trg_EXT_rst`.
+            pub fn code(&self) -> &'static str {
+                match self {
+                    $( $( $cat_name::$variant => concat!($prefix, "_", $class_code, "_", $code), )+ )+
+                }
+            }
+
+            /// Trailing three-letter suffix of the code, e.g. `rst`.
+            pub fn suffix(&self) -> &'static str {
+                match self {
+                    $( $( $cat_name::$variant => $code, )+ )+
+                }
+            }
+
+            /// One-sentence description from the paper's table.
+            pub fn description(&self) -> &'static str {
+                match self {
+                    $( $( $cat_name::$variant => $desc, )+ )+
+                }
+            }
+
+            /// The class this abstract category belongs to.
+            pub fn class(&self) -> $class_name {
+                match self {
+                    $( $( $cat_name::$variant => $class_name::$class_variant, )+ )+
+                }
+            }
+
+            /// Position of this category in [`Self::ALL`].
+            pub fn index(&self) -> usize {
+                *self as usize
+            }
+        }
+
+        impl fmt::Display for $cat_name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.code())
+            }
+        }
+
+        impl FromStr for $cat_name {
+            type Err = ModelError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                Self::ALL
+                    .iter()
+                    .copied()
+                    .find(|c| c.code() == s)
+                    .ok_or_else(|| ModelError::UnknownCategory(s.to_string()))
+            }
+        }
+    };
+}
+
+taxonomy! {
+    kind: "trigger", prefix: "Trg",
+    class TriggerClass, category Trigger;
+    Mbr("MBR", "a data operation on a boundary") {
+        CacheLineBoundary("cbr", "a data operation on a cache line boundary"),
+        PageBoundary("pgb", "a data operation on a page boundary"),
+        MemoryMapBoundary("mbr", "a data operation on a memory map boundary such as canonical"),
+    }
+    Mop("MOP", "a memory operation") {
+        MemoryMapped("mmp", "an interaction with a memory-mapped element"),
+        Atomic("atp", "an atomic/transactional memory operation"),
+        Fence("fen", "a memory fence or a serializing instruction"),
+        SegmentMode("seg", "a condition on segment modes"),
+        PageTableWalk("ptw", "a core page table walk"),
+        NestedTranslation("nst", "translation on nested page tables"),
+        Flush("flc", "flushing some cache line or TLB"),
+        Speculative("spe", "a speculative memory operation"),
+    }
+    Flt("FLT", "related to exceptions and faults") {
+        CounterOverflow("ovf", "a counter overflow"),
+        TimerEvent("tmr", "a timer event"),
+        MachineCheck("mca", "a machine check exception"),
+        IllegalInstruction("ill", "an illegal instruction"),
+    }
+    Prv("PRV", "related to privilege transitions") {
+        ResumeFromSmm("ret", "a resume from System Management or OS mode"),
+        VmTransition("vmt", "a transition between hypervisor and guest"),
+    }
+    Cfg("CFG", "related to dynamic configuration") {
+        Paging("pag", "a paging mechanism interaction"),
+        VmConfig("vmc", "a virtual machine configuration interaction"),
+        ConfigRegister("wrg", "a configuration register interaction"),
+    }
+    Pow("POW", "related to power states") {
+        PowerStateChange("pwc", "a transition between power states"),
+        Throttling("tht", "a change in thermal or power supply conditions, or throttling"),
+    }
+    Ext("EXT", "related to external inputs") {
+        Reset("rst", "a (cold or warm) reset"),
+        Pcie("pci", "an interaction with PCIe"),
+        Usb("usb", "an interaction with USB"),
+        Dram("ram", "a specific DRAM configuration"),
+        Iommu("iom", "an access through the IOMMU"),
+        SystemBus("bus", "system bus (HyperTransport, QPI, etc.)"),
+    }
+    Fea("FEA", "related to features") {
+        FloatingPoint("fpu", "floating-point instructions"),
+        Debug("dbg", "debug features such as breakpoints"),
+        Cpuid("cid", "design identification (CPUID reports)"),
+        Monitoring("mon", "monitoring (MONITOR and MWAIT)"),
+        Tracing("trc", "tracing features"),
+        CustomFeature("cus", "other specific features (SSE, MMX, etc.)"),
+    }
+}
+
+taxonomy! {
+    kind: "context", prefix: "Ctx",
+    class ContextClass, category Context;
+    Prv("PRV", "related to privileges") {
+        Boot("boo", "booting or being in the BIOS"),
+        VmGuest("vmg", "being a virtual machine guest"),
+        RealMode("rea", "operating in real mode"),
+        Hypervisor("vmh", "being a hypervisor"),
+        Smm("smm", "being in SMM"),
+    }
+    Fea("FEA", "related to features") {
+        SecurityFeature("sec", "security feature enabled (SGX, SVM, etc.)"),
+        SingleCore("sgc", "running in a single-core configuration"),
+    }
+    Phy("PHY", "non-digital conditions") {
+        Package("pkg", "package-specific"),
+        Temperature("tmp", "temperature-specific"),
+        Voltage("vol", "voltage-specific"),
+    }
+}
+
+taxonomy! {
+    kind: "observable effect", prefix: "Eff",
+    class EffectClass, category Effect;
+    Hng("HNG", "related to hangs") {
+        Unpredictable("unp", "an unpredictable behavior"),
+        Hang("hng", "a hang of the processor"),
+        Crash("crh", "a crash of the processor"),
+        BootFailure("boo", "a boot failure"),
+    }
+    Flt("FLT", "related to faults") {
+        MachineCheck("mca", "a machine check exception"),
+        Uncorrectable("unc", "an uncorrectable error"),
+        SpuriousFault("fsp", "one or multiple spurious faults"),
+        MissingFault("fms", "one or multiple missing faults"),
+        WrongFaultId("fid", "a wrong fault identifier or order"),
+    }
+    Crp("CRP", "related to corruptions") {
+        PerfCounter("prf", "a wrong performance counter value"),
+        MsrValue("reg", "a wrong MSR value"),
+    }
+    Ext("EXT", "related to physical outputs") {
+        Pcie("pci", "issues observable on the PCIe side"),
+        Usb("usb", "issues observable on the USB side"),
+        Multimedia("mmd", "multimedia issues (e.g., audio, graphics)"),
+        Dram("ram", "abnormal interaction with DRAM"),
+        Power("pow", "abnormal power consumption"),
+    }
+}
+
+/// Any abstract category, across the three kinds.
+///
+/// The paper's classification effort counts decisions over all 60 categories
+/// (`1128 x 60 = 67,680` decisions per human before filtering); this type is
+/// the unit of those decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// A necessary (conjunctive) trigger category.
+    Trigger(Trigger),
+    /// A sufficient (disjunctive) context category.
+    Context(Context),
+    /// A sufficient (disjunctive) observable-effect category.
+    Effect(Effect),
+}
+
+impl Category {
+    /// Total number of abstract categories (the paper's "60 categories").
+    pub const COUNT: usize = Trigger::ALL.len() + Context::ALL.len() + Effect::ALL.len();
+
+    /// Iterates over all 60 abstract categories: triggers, then contexts,
+    /// then effects, each in table order.
+    pub fn all() -> impl Iterator<Item = Category> {
+        Trigger::ALL
+            .iter()
+            .map(|&t| Category::Trigger(t))
+            .chain(Context::ALL.iter().map(|&c| Category::Context(c)))
+            .chain(Effect::ALL.iter().map(|&e| Category::Effect(e)))
+    }
+
+    /// The paper's abstract descriptor, e.g. `Eff_CRP_reg`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Category::Trigger(t) => t.code(),
+            Category::Context(c) => c.code(),
+            Category::Effect(e) => e.code(),
+        }
+    }
+
+    /// One-sentence description from the paper's tables.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Category::Trigger(t) => t.description(),
+            Category::Context(c) => c.description(),
+            Category::Effect(e) => e.description(),
+        }
+    }
+
+    /// Dense index in `0..Category::COUNT`, following [`Category::all`] order.
+    pub fn dense_index(&self) -> usize {
+        match self {
+            Category::Trigger(t) => t.index(),
+            Category::Context(c) => Trigger::ALL.len() + c.index(),
+            Category::Effect(e) => Trigger::ALL.len() + Context::ALL.len() + e.index(),
+        }
+    }
+
+    /// Inverse of [`Category::dense_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Category::COUNT`.
+    pub fn from_dense_index(index: usize) -> Category {
+        let nt = Trigger::ALL.len();
+        let nc = Context::ALL.len();
+        if index < nt {
+            Category::Trigger(Trigger::ALL[index])
+        } else if index < nt + nc {
+            Category::Context(Context::ALL[index - nt])
+        } else {
+            Category::Effect(Effect::ALL[index - nt - nc])
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl FromStr for Category {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Ok(t) = s.parse::<Trigger>() {
+            return Ok(Category::Trigger(t));
+        }
+        if let Ok(c) = s.parse::<Context>() {
+            return Ok(Category::Context(c));
+        }
+        if let Ok(e) = s.parse::<Effect>() {
+            return Ok(Category::Effect(e));
+        }
+        Err(ModelError::UnknownCategory(s.to_string()))
+    }
+}
+
+impl From<Trigger> for Category {
+    fn from(t: Trigger) -> Self {
+        Category::Trigger(t)
+    }
+}
+
+impl From<Context> for Category {
+    fn from(c: Context) -> Self {
+        Category::Context(c)
+    }
+}
+
+impl From<Effect> for Category {
+    fn from(e: Effect) -> Self {
+        Category::Effect(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_paper_defines_exactly_sixty_categories() {
+        assert_eq!(Trigger::ALL.len(), 34);
+        assert_eq!(Context::ALL.len(), 10);
+        assert_eq!(Effect::ALL.len(), 16);
+        assert_eq!(Category::COUNT, 60);
+        assert_eq!(Category::all().count(), 60);
+    }
+
+    #[test]
+    fn class_counts_match_tables() {
+        assert_eq!(TriggerClass::ALL.len(), 8);
+        assert_eq!(ContextClass::ALL.len(), 3);
+        assert_eq!(EffectClass::ALL.len(), 4);
+    }
+
+    #[test]
+    fn class_categories_partition_the_categories() {
+        let from_classes: usize = TriggerClass::ALL.iter().map(|c| c.categories().len()).sum();
+        assert_eq!(from_classes, Trigger::ALL.len());
+        for class in TriggerClass::ALL {
+            for cat in class.categories() {
+                assert_eq!(cat.class(), *class);
+            }
+        }
+    }
+
+    #[test]
+    fn codes_follow_paper_notation() {
+        assert_eq!(Trigger::Reset.code(), "Trg_EXT_rst");
+        assert_eq!(Trigger::ConfigRegister.code(), "Trg_CFG_wrg");
+        assert_eq!(Context::VmGuest.code(), "Ctx_PRV_vmg");
+        assert_eq!(Effect::MsrValue.code(), "Eff_CRP_reg");
+        assert_eq!(TriggerClass::Ext.code(), "Trg_EXT");
+        assert_eq!(EffectClass::Crp.code(), "Eff_CRP");
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<&str> = Category::all().map(|c| c.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 60);
+    }
+
+    #[test]
+    fn parse_roundtrip_all() {
+        for cat in Category::all() {
+            let parsed: Category = cat.code().parse().unwrap();
+            assert_eq!(parsed, cat);
+        }
+        assert!("Trg_XYZ_abc".parse::<Category>().is_err());
+    }
+
+    #[test]
+    fn dense_index_roundtrip() {
+        for (i, cat) in Category::all().enumerate() {
+            assert_eq!(cat.dense_index(), i);
+            assert_eq!(Category::from_dense_index(i), cat);
+        }
+    }
+
+    #[test]
+    fn descriptions_are_self_explanatory_one_liners() {
+        for cat in Category::all() {
+            let d = cat.description();
+            assert!(!d.is_empty());
+            assert!(!d.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn class_parse_roundtrip() {
+        for class in TriggerClass::ALL {
+            assert_eq!(class.code().parse::<TriggerClass>().unwrap(), *class);
+        }
+        for class in ContextClass::ALL {
+            assert_eq!(class.code().parse::<ContextClass>().unwrap(), *class);
+        }
+        for class in EffectClass::ALL {
+            assert_eq!(class.code().parse::<EffectClass>().unwrap(), *class);
+        }
+    }
+
+    #[test]
+    fn serde_uses_stable_names() {
+        let json = serde_json::to_string(&Trigger::PowerStateChange).unwrap();
+        assert_eq!(json, "\"PowerStateChange\"");
+        let back: Trigger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Trigger::PowerStateChange);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests on the core data structures.
+
+use proptest::prelude::*;
+use rememberr_model::{
+    Annotation, Category, Context, ContextSet, Date, Effect, EffectSet, MachineErratum,
+    Trigger, TriggerSet, UniqueKey,
+};
+
+/// Strategy: an arbitrary trigger set from member indices.
+fn trigger_set() -> impl Strategy<Value = TriggerSet> {
+    prop::collection::vec(0..Trigger::ALL.len(), 0..8)
+        .prop_map(|idx| idx.into_iter().map(|i| Trigger::ALL[i]).collect())
+}
+
+fn context_set() -> impl Strategy<Value = ContextSet> {
+    prop::collection::vec(0..Context::ALL.len(), 0..5)
+        .prop_map(|idx| idx.into_iter().map(|i| Context::ALL[i]).collect())
+}
+
+fn effect_set() -> impl Strategy<Value = EffectSet> {
+    prop::collection::vec(0..Effect::ALL.len(), 0..6)
+        .prop_map(|idx| idx.into_iter().map(|i| Effect::ALL[i]).collect())
+}
+
+proptest! {
+    #[test]
+    fn set_algebra_laws(a in trigger_set(), b in trigger_set(), c in trigger_set()) {
+        // Commutativity and associativity of union/intersection.
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.intersection(&b).intersection(&c), a.intersection(&b.intersection(&c)));
+        // Absorption and difference identities.
+        prop_assert_eq!(a.union(&a.intersection(&b)), a);
+        prop_assert_eq!(a.difference(&b).intersection(&b).len(), 0);
+        // Subset relations.
+        prop_assert!(a.intersection(&b).is_subset(&a));
+        prop_assert!(a.is_subset(&a.union(&b)));
+        // Cardinality: |A| + |B| = |A ∪ B| + |A ∩ B|.
+        prop_assert_eq!(a.len() + b.len(), a.union(&b).len() + a.intersection(&b).len());
+    }
+
+    #[test]
+    fn bits_roundtrip(a in trigger_set()) {
+        prop_assert_eq!(TriggerSet::from_bits(a.to_bits()), a);
+        // Iteration order is ascending in catalog index.
+        let order: Vec<usize> = a.iter().map(|t| t.index()).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn conjunctive_semantics_monotone(need in trigger_set(), applied in trigger_set(), extra in trigger_set()) {
+        // Adding stimuli can only help a conjunctive requirement.
+        if need.satisfied_by_all(&applied) {
+            prop_assert!(need.satisfied_by_all(&applied.union(&extra)));
+        }
+        // The requirement itself always suffices.
+        prop_assert!(need.satisfied_by_all(&need));
+    }
+
+    #[test]
+    fn disjunctive_semantics_monotone(have in effect_set(), watch in effect_set(), extra in effect_set()) {
+        if have.satisfied_by_any(&watch) {
+            prop_assert!(have.satisfied_by_any(&watch.union(&extra)));
+        }
+        // Watching everything always suffices.
+        prop_assert!(have.satisfied_by_any(&EffectSet::full()));
+    }
+
+    #[test]
+    fn date_days_roundtrip(days in -200_000i64..200_000) {
+        let date = Date::from_days_since_epoch(days);
+        prop_assert_eq!(date.days_since_epoch(), days);
+        prop_assert_eq!(date.add_days(17).add_days(-17), date);
+    }
+
+    #[test]
+    fn date_string_roundtrip(days in 0i64..40_000) {
+        let date = Date::from_days_since_epoch(days);
+        let parsed: Date = date.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, date);
+    }
+
+    #[test]
+    fn date_ordering_matches_day_numbers(a in -60_000i64..60_000, b in -60_000i64..60_000) {
+        let da = Date::from_days_since_epoch(a);
+        let db = Date::from_days_since_epoch(b);
+        prop_assert_eq!(da.cmp(&db), a.cmp(&b));
+        prop_assert_eq!(da - db, a - b);
+    }
+
+    #[test]
+    fn machine_erratum_roundtrip(
+        triggers in trigger_set(),
+        contexts in context_set(),
+        effects in effect_set(),
+        key in 1u32..100_000,
+        complex in any::<bool>(),
+        title in "[A-Za-z][A-Za-z0-9 ]{0,40}",
+    ) {
+        let mut annotation = Annotation::new();
+        annotation.triggers = triggers;
+        annotation.contexts = contexts;
+        annotation.effects = effects;
+        annotation.complex_conditions = complex;
+        let record = MachineErratum {
+            key: UniqueKey(key),
+            title: title.trim().to_string(),
+            annotation,
+            comments: "none".to_string(),
+            root_cause: None,
+            workaround: "None identified.".to_string(),
+            status: "No fix planned.".to_string(),
+        };
+        let parsed: MachineErratum = record.render().parse().unwrap();
+        prop_assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn category_dense_index_is_a_bijection(i in 0..Category::COUNT) {
+        let cat = Category::from_dense_index(i);
+        prop_assert_eq!(cat.dense_index(), i);
+        let parsed: Category = cat.code().parse().unwrap();
+        prop_assert_eq!(parsed, cat);
+    }
+}

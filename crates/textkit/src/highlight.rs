@@ -1,0 +1,165 @@
+//! Span-based syntax highlighting of erratum text.
+//!
+//! The paper's annotators were guided by "a syntax highlighting engine with
+//! regular expressions to emphasize parts of the errata descriptions
+//! relevant to a given category". This module reproduces that tool: given a
+//! [`PatternSet`] keyed by category labels, it produces merged, labelled
+//! highlight spans and can render them as plain-text markup or ANSI color.
+
+use std::collections::BTreeMap;
+
+use crate::pattern::{PatternSet, PreparedText, Span};
+
+/// A highlighted region: the byte span and the labels that apply to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Highlight {
+    /// Byte span in the source text.
+    pub span: Span,
+    /// Sorted, deduplicated labels whose patterns matched this region.
+    pub labels: Vec<String>,
+}
+
+/// Computes merged highlights for `text` under `patterns`.
+///
+/// Overlapping or adjacent spans with any shared coverage are merged; the
+/// merged region carries the union of labels. Results are sorted by start
+/// offset.
+pub fn highlights(patterns: &PatternSet, text: &str) -> Vec<Highlight> {
+    let prepared = PreparedText::new(text);
+    let mut raw: Vec<(Span, &str)> = patterns
+        .find_spans(&prepared)
+        .into_iter()
+        .map(|(label, span)| (span, label))
+        .collect();
+    raw.sort_by_key(|(span, _)| (span.start, span.end));
+
+    let mut merged: Vec<(Span, BTreeMap<String, ()>)> = Vec::new();
+    for (span, label) in raw {
+        match merged.last_mut() {
+            Some((last, labels)) if span.start <= last.end => {
+                last.end = last.end.max(span.end);
+                labels.insert(label.to_string(), ());
+            }
+            _ => {
+                let mut labels = BTreeMap::new();
+                labels.insert(label.to_string(), ());
+                merged.push((span, labels));
+            }
+        }
+    }
+
+    merged
+        .into_iter()
+        .map(|(span, labels)| Highlight {
+            span,
+            labels: labels.into_keys().collect(),
+        })
+        .collect()
+}
+
+/// Renders highlights as inline markup: `[label1,label2|matched text]`.
+///
+/// This is the reviewable form used in reports and tests; terminals get
+/// [`render_ansi`].
+pub fn render_markup(text: &str, highlights: &[Highlight]) -> String {
+    let mut out = String::with_capacity(text.len() + highlights.len() * 16);
+    let mut pos = 0;
+    for h in highlights {
+        out.push_str(&text[pos..h.span.start]);
+        out.push('[');
+        out.push_str(&h.labels.join(","));
+        out.push('|');
+        out.push_str(&text[h.span.start..h.span.end]);
+        out.push(']');
+        pos = h.span.end;
+    }
+    out.push_str(&text[pos..]);
+    out
+}
+
+/// Renders highlights with ANSI reverse-video escapes for terminals.
+pub fn render_ansi(text: &str, highlights: &[Highlight]) -> String {
+    let mut out = String::with_capacity(text.len() + highlights.len() * 8);
+    let mut pos = 0;
+    for h in highlights {
+        out.push_str(&text[pos..h.span.start]);
+        out.push_str("\x1b[7m");
+        out.push_str(&text[h.span.start..h.span.end]);
+        out.push_str("\x1b[0m");
+        pos = h.span.end;
+    }
+    out.push_str(&text[pos..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_patterns() -> PatternSet {
+        let mut set = PatternSet::new();
+        set.add_source("Trg_POW_pwc", "power <2> state|states").unwrap();
+        set.add_source("Trg_EXT_rst", "warm|cold reset").unwrap();
+        set.add_source("Eff_HNG_hng", "hang|hangs").unwrap();
+        set
+    }
+
+    #[test]
+    fn non_overlapping_highlights() {
+        let text = "After a warm reset the processor may hang.";
+        let hs = highlights(&demo_patterns(), text);
+        assert_eq!(hs.len(), 2);
+        assert_eq!(&text[hs[0].span.start..hs[0].span.end], "warm reset");
+        assert_eq!(hs[0].labels, vec!["Trg_EXT_rst"]);
+        assert_eq!(&text[hs[1].span.start..hs[1].span.end], "hang");
+    }
+
+    #[test]
+    fn overlapping_spans_merge_with_label_union() {
+        let mut set = PatternSet::new();
+        set.add_source("a", "power state").unwrap();
+        set.add_source("b", "state transition").unwrap();
+        let text = "during a power state transition";
+        let hs = highlights(&set, text);
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].labels, vec!["a", "b"]);
+        assert_eq!(
+            &text[hs[0].span.start..hs[0].span.end],
+            "power state transition"
+        );
+    }
+
+    #[test]
+    fn markup_rendering() {
+        let text = "the processor may hang now";
+        let hs = highlights(&demo_patterns(), text);
+        let rendered = render_markup(text, &hs);
+        assert_eq!(rendered, "the processor may [Eff_HNG_hng|hang] now");
+    }
+
+    #[test]
+    fn ansi_rendering_wraps_matches() {
+        let text = "may hang";
+        let hs = highlights(&demo_patterns(), text);
+        let rendered = render_ansi(text, &hs);
+        assert!(rendered.contains("\x1b[7mhang\x1b[0m"));
+    }
+
+    #[test]
+    fn no_matches_returns_text_verbatim() {
+        let text = "nothing interesting here";
+        let hs = highlights(&demo_patterns(), text);
+        assert!(hs.is_empty());
+        assert_eq!(render_markup(text, &hs), text);
+        assert_eq!(render_ansi(text, &hs), text);
+    }
+
+    #[test]
+    fn highlights_are_sorted_and_disjoint() {
+        let text = "hang after power state change then warm reset then hang";
+        let hs = highlights(&demo_patterns(), text);
+        for pair in hs.windows(2) {
+            assert!(pair[0].span.end <= pair[1].span.start);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Text-processing substrate for the RemembERR pipeline.
+//!
+//! The original study used Python NLP/PDF tooling (`pdftotext`, `camelot`,
+//! regular expressions); this crate provides the equivalent building blocks
+//! from scratch:
+//!
+//! * [`tokenize`] / [`word_tokens`] — offset-preserving tokenization of
+//!   erratum prose, aware of numbers, hex constants and register names;
+//! * [`normalize`] / [`normalized_key`] — stopword removal and light
+//!   stemming for duplicate detection;
+//! * [`levenshtein`], [`jaccard`], [`cosine`], [`title_similarity`] — the
+//!   similarity metrics behind the Intel duplicate-detection cascade;
+//! * [`Pattern`] / [`PatternSet`] — a token-phrase pattern engine replacing
+//!   the paper's regex rules;
+//! * [`highlights`] — the syntax-highlighting assist used during manual
+//!   classification;
+//! * [`wrap`] / [`reflow`] — document line rendering and its inverse.
+//!
+//! # Examples
+//!
+//! ```
+//! use rememberr_textkit::{Pattern, title_similarity};
+//!
+//! # fn main() -> Result<(), rememberr_textkit::PatternError> {
+//! let p = Pattern::parse("machine check <2> exception")?;
+//! assert!(p.matches("a Machine Check Architecture exception occurs"));
+//!
+//! let s = title_similarity(
+//!     "X87 FDP Value May be Saved Incorrectly",
+//!     "x87 FDP Values Might Be Saved Incorrectly",
+//! );
+//! assert!(s > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod highlight;
+mod ngram;
+mod normalize;
+mod pattern;
+mod similarity;
+mod tokenize;
+mod wrap;
+
+pub use highlight::{highlights, render_ansi, render_markup, Highlight};
+pub use ngram::{char_ngrams, shingle_similarity, token_ngrams};
+pub use normalize::{is_stopword, normalize, normalized_key, stem};
+pub use pattern::{Pattern, PatternError, PatternSet, PreparedText, Span};
+pub use similarity::{cosine, jaccard, levenshtein, levenshtein_similarity, title_similarity};
+pub use tokenize::{tokenize, word_tokens, Token, TokenKind};
+pub use wrap::{reflow, wrap};

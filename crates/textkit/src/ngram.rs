@@ -1,0 +1,132 @@
+//! Character and token n-grams (shingles) and n-gram set similarity.
+//!
+//! Used as an order-sensitive complement to token Jaccard: bigram shingles
+//! distinguish "machine check" from "check the machine", which plain token
+//! sets cannot.
+
+use std::collections::BTreeSet;
+
+use crate::normalize::normalize;
+
+/// Character n-grams of a string (over its chars, not bytes).
+///
+/// Strings shorter than `n` yield a single truncated gram; `n == 0` yields
+/// nothing.
+pub fn char_ngrams(text: &str, n: usize) -> Vec<String> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chars: Vec<char> = text.chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() <= n {
+        return vec![chars.iter().collect()];
+    }
+    (0..=chars.len() - n)
+        .map(|i| chars[i..i + n].iter().collect())
+        .collect()
+}
+
+/// Token n-grams (shingles) of a token sequence.
+pub fn token_ngrams(tokens: &[String], n: usize) -> Vec<String> {
+    if n == 0 || tokens.is_empty() {
+        return Vec::new();
+    }
+    if tokens.len() <= n {
+        return vec![tokens.join(" ")];
+    }
+    (0..=tokens.len() - n)
+        .map(|i| tokens[i..i + n].join(" "))
+        .collect()
+}
+
+/// Jaccard similarity between the `n`-shingle sets of two normalized texts.
+///
+/// Normalization (stopwords, stemming) happens internally; `n = 2` is the
+/// usual choice for titles.
+pub fn shingle_similarity(a: &str, b: &str, n: usize) -> f64 {
+    let sa: BTreeSet<String> = token_ngrams(&normalize(a), n).into_iter().collect();
+    let sb: BTreeSet<String> = token_ngrams(&normalize(b), n).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn char_ngrams_basics() {
+        assert_eq!(char_ngrams("abcd", 2), vec!["ab", "bc", "cd"]);
+        assert_eq!(char_ngrams("ab", 3), vec!["ab"]);
+        assert!(char_ngrams("", 2).is_empty());
+        assert!(char_ngrams("abc", 0).is_empty());
+    }
+
+    #[test]
+    fn char_ngrams_respect_unicode_boundaries() {
+        let grams = char_ngrams("áβc", 2);
+        assert_eq!(grams, vec!["áβ", "βc"]);
+    }
+
+    #[test]
+    fn token_ngrams_basics() {
+        let toks: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(token_ngrams(&toks, 2), vec!["a b", "b c"]);
+        assert_eq!(token_ngrams(&toks, 5), vec!["a b c"]);
+        assert!(token_ngrams(&[], 2).is_empty());
+    }
+
+    #[test]
+    fn shingles_are_order_sensitive() {
+        // Token Jaccard would call these identical; shingles do not.
+        let forward = shingle_similarity("machine check exception", "machine check exception", 2);
+        let scrambled = shingle_similarity("machine check exception", "exception check machine", 2);
+        assert!((forward - 1.0).abs() < 1e-12);
+        assert!(scrambled < 0.5, "{scrambled}");
+    }
+
+    #[test]
+    fn near_duplicate_titles_score_high() {
+        let s = shingle_similarity(
+            "X87 FDP Value May be Saved Incorrectly",
+            "X87 FDP Values Might Be Saved Incorrectly",
+            2,
+        );
+        assert!(s > 0.9, "{s}");
+    }
+
+    proptest! {
+        #[test]
+        fn shingle_similarity_is_symmetric_and_bounded(a in ".{0,40}", b in ".{0,40}") {
+            let ab = shingle_similarity(&a, &b, 2);
+            let ba = shingle_similarity(&b, &a, 2);
+            prop_assert!((ab - ba).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&ab));
+            prop_assert!((shingle_similarity(&a, &a, 2) - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn gram_counts_match_lengths(text in "[a-z ]{0,60}", n in 1usize..5) {
+            let chars = text.chars().count();
+            let grams = char_ngrams(&text, n);
+            if chars == 0 {
+                prop_assert!(grams.is_empty());
+            } else if chars <= n {
+                prop_assert_eq!(grams.len(), 1);
+            } else {
+                prop_assert_eq!(grams.len(), chars - n + 1);
+            }
+        }
+    }
+}

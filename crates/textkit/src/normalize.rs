@@ -1,0 +1,150 @@
+//! Normalization for duplicate detection: stopword removal and a light
+//! suffix-stripping stemmer.
+//!
+//! Intel duplicate detection works on titles whose phrasings vary slightly
+//! between documents ("May Be Saved Incorrectly" vs "Might be Saved
+//! Incorrectly"); normalization makes such variants compare equal.
+
+use crate::tokenize::word_tokens;
+
+/// English stopwords that carry no signal in erratum titles.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "can", "could", "do", "does", "for", "from",
+    "has", "have", "if", "in", "into", "is", "it", "its", "may", "might", "not", "of", "on",
+    "or", "shall", "should", "such", "that", "the", "their", "then", "there", "these", "this",
+    "to", "under", "upon", "when", "which", "while", "will", "with", "would",
+];
+
+/// True if the lowercase word is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Applies a light suffix-stripping stemmer to a lowercase word.
+///
+/// This is deliberately not a full Porter stemmer: erratum vocabulary is
+/// narrow, and aggressive stemming would merge distinct technical terms.
+/// Rules, in order: `'s`, `ies -> y`, `sses -> ss`, `es`, `s` (guarded),
+/// `ing` (guarded), `ed` (guarded).
+pub fn stem(word: &str) -> String {
+    let w = word;
+    if let Some(base) = w.strip_suffix("'s") {
+        return base.to_string();
+    }
+    if let Some(base) = w.strip_suffix("ies") {
+        if base.len() >= 2 {
+            return format!("{base}y");
+        }
+    }
+    if let Some(base) = w.strip_suffix("sses") {
+        return format!("{base}ss");
+    }
+    if let Some(base) = w.strip_suffix("es") {
+        // "caches" -> "cach"+"es"? prefer "cache": only strip bare "s" when
+        // the remainder ends with a consonant cluster that needs the "e".
+        if base.len() >= 3 && (base.ends_with("sh") || base.ends_with("ch") || base.ends_with('x'))
+        {
+            return base.to_string();
+        }
+    }
+    if let Some(base) = w.strip_suffix('s') {
+        if base.len() >= 3 && !base.ends_with('s') && !base.ends_with('u') && !base.ends_with('i')
+        {
+            return base.to_string();
+        }
+    }
+    if let Some(base) = w.strip_suffix("ing") {
+        if base.len() >= 3 {
+            return base.to_string();
+        }
+    }
+    if let Some(base) = w.strip_suffix("ed") {
+        if base.len() >= 3 {
+            return base.to_string();
+        }
+    }
+    w.to_string()
+}
+
+/// Normalizes text into a canonical token sequence: lowercase word tokens,
+/// stopwords removed, light stemming applied.
+///
+/// # Examples
+///
+/// ```
+/// use rememberr_textkit::normalize;
+///
+/// assert_eq!(
+///     normalize("The X87 FDP Value May be Saved Incorrectly"),
+///     normalize("X87 FDP values might be saved incorrectly"),
+/// );
+/// ```
+pub fn normalize(text: &str) -> Vec<String> {
+    word_tokens(text)
+        .into_iter()
+        .filter(|w| !is_stopword(w))
+        .map(|w| stem(&w))
+        .collect()
+}
+
+/// Normalized text joined with single spaces — the canonical title form the
+/// Intel duplicate detector keys on.
+pub fn normalized_key(text: &str) -> String {
+    normalize(text).join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS);
+    }
+
+    #[test]
+    fn stopwords_detected() {
+        assert!(is_stopword("the"));
+        assert!(is_stopword("may"));
+        assert!(!is_stopword("processor"));
+    }
+
+    #[test]
+    fn stemming_rules() {
+        assert_eq!(stem("registers"), "register");
+        assert_eq!(stem("stores"), "store");
+        assert_eq!(stem("caches"), "cach"); // via bare-s rule after "es" guard
+        assert_eq!(stem("branches"), "branch");
+        assert_eq!(stem("retries"), "retry");
+        assert_eq!(stem("crossing"), "cross");
+        assert_eq!(stem("saved"), "sav");
+        assert_eq!(stem("processor's"), "processor");
+        // Guards: short words and awkward endings survive.
+        assert_eq!(stem("bus"), "bus");
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("miss"), "miss");
+    }
+
+    #[test]
+    fn normalize_merges_phrasing_variants() {
+        let a = normalized_key("Processor May Hang When Switching Between Caches");
+        let b = normalized_key("The processor might hang when switching between the caches");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normalize_keeps_technical_terms_distinct() {
+        assert_ne!(
+            normalized_key("PCIe link may degrade"),
+            normalized_key("USB link may degrade")
+        );
+    }
+
+    #[test]
+    fn normalized_key_of_empty_is_empty() {
+        assert_eq!(normalized_key(""), "");
+        assert_eq!(normalized_key("the of and"), "");
+    }
+}

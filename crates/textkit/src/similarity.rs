@@ -1,0 +1,192 @@
+//! String and token-set similarity metrics.
+//!
+//! The Intel duplicate detector ranks candidate pairs by title similarity
+//! (Section IV-A: "title similarity is a strong indicator of potential
+//! duplicates"). We provide Levenshtein distance (banded, early-exit),
+//! Jaccard similarity over token sets, cosine similarity over term
+//! frequencies, and the composite [`title_similarity`] used by the cascade.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::normalize::normalize;
+
+/// Levenshtein edit distance between two strings, by bytes.
+///
+/// Uses the classic two-row dynamic program. If `cutoff` is `Some(k)` and
+/// the distance provably exceeds `k`, returns `k + 1` early.
+pub fn levenshtein(a: &str, b: &str, cutoff: Option<usize>) -> usize {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    if let Some(k) = cutoff {
+        if a.len().abs_diff(b.len()) > k {
+            return k + 1;
+        }
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        let mut row_min = cur[0];
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if let Some(k) = cutoff {
+            if row_min > k {
+                return k + 1;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized Levenshtein similarity in `[0, 1]` (1 = identical).
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.len().max(b.len());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b, None) as f64 / max_len as f64
+}
+
+/// Jaccard similarity between two token multiset *supports* (sets).
+pub fn jaccard<T: Ord>(a: impl IntoIterator<Item = T>, b: impl IntoIterator<Item = T>) -> f64 {
+    let sa: BTreeSet<T> = a.into_iter().collect();
+    let sb: BTreeSet<T> = b.into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Cosine similarity between term-frequency vectors of two token sequences.
+pub fn cosine(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut fa: BTreeMap<&str, f64> = BTreeMap::new();
+    for t in a {
+        *fa.entry(t.as_str()).or_default() += 1.0;
+    }
+    let mut fb: BTreeMap<&str, f64> = BTreeMap::new();
+    for t in b {
+        *fb.entry(t.as_str()).or_default() += 1.0;
+    }
+    let dot: f64 = fa
+        .iter()
+        .filter_map(|(t, va)| fb.get(t).map(|vb| va * vb))
+        .sum();
+    let na: f64 = fa.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = fb.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+/// Composite title similarity in `[0, 1]`, the ranking key of the Intel
+/// duplicate-detection cascade.
+///
+/// Titles are normalized (stopwords out, light stemming), then the score is
+/// a blend of token Jaccard and character-level Levenshtein similarity on
+/// the normalized keys: Jaccard captures word permutations, Levenshtein
+/// captures near-identical phrasing with small in-word edits.
+pub fn title_similarity(a: &str, b: &str) -> f64 {
+    let na = normalize(a);
+    let nb = normalize(b);
+    let j = jaccard(na.iter(), nb.iter());
+    let ka = na.join(" ");
+    let kb = nb.join(" ");
+    let l = levenshtein_similarity(&ka, &kb);
+    0.6 * j + 0.4 * l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", "", None), 0);
+        assert_eq!(levenshtein("abc", "", None), 3);
+        assert_eq!(levenshtein("kitten", "sitting", None), 3);
+        assert_eq!(levenshtein("flaw", "lawn", None), 2);
+    }
+
+    #[test]
+    fn levenshtein_cutoff_early_exit() {
+        assert_eq!(levenshtein("aaaaaaaaaa", "bbbbbbbbbb", Some(3)), 4);
+        assert_eq!(levenshtein("short", "muchlongerstring", Some(2)), 3);
+        // Within cutoff: exact value.
+        assert_eq!(levenshtein("kitten", "sitting", Some(5)), 3);
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard::<&str>([], []), 1.0);
+        assert_eq!(jaccard(["a", "b"], ["a", "b"]), 1.0);
+        assert_eq!(jaccard(["a", "b"], ["c", "d"]), 0.0);
+        assert!((jaccard(["a", "b", "c"], ["b", "c", "d"]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        let a = vec!["x".to_string(), "y".to_string()];
+        let b = vec!["x".to_string(), "y".to_string()];
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-12);
+        let c = vec!["z".to_string()];
+        assert_eq!(cosine(&a, &c), 0.0);
+        assert_eq!(cosine(&[], &[]), 1.0);
+        assert_eq!(cosine(&a, &[]), 0.0);
+    }
+
+    #[test]
+    fn title_similarity_ranks_near_duplicates_high() {
+        let a = "X87 FDP Value May be Saved Incorrectly";
+        let b = "x87 FDP Values Might Be Saved Incorrectly";
+        let c = "Processor May Hang When Switching Between Instruction Cache and Op Cache";
+        assert!(title_similarity(a, b) > 0.9, "{}", title_similarity(a, b));
+        assert!(title_similarity(a, c) < 0.3, "{}", title_similarity(a, c));
+        assert!(title_similarity(a, a) > 0.999);
+    }
+
+    proptest! {
+        #[test]
+        fn levenshtein_is_a_metric(a in "[a-c]{0,12}", b in "[a-c]{0,12}", c in "[a-c]{0,12}") {
+            let dab = levenshtein(&a, &b, None);
+            let dba = levenshtein(&b, &a, None);
+            prop_assert_eq!(dab, dba); // symmetry
+            prop_assert_eq!(levenshtein(&a, &a, None), 0); // identity
+            let dac = levenshtein(&a, &c, None);
+            let dcb = levenshtein(&c, &b, None);
+            prop_assert!(dab <= dac + dcb); // triangle inequality
+        }
+
+        #[test]
+        fn similarity_scores_are_in_unit_interval(a in ".{0,40}", b in ".{0,40}") {
+            let t = title_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&t), "title {t}");
+            let l = levenshtein_similarity(&a, &b);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&l), "lev {l}");
+        }
+
+        #[test]
+        fn jaccard_symmetric(a in prop::collection::vec("[a-e]{1,3}", 0..8),
+                             b in prop::collection::vec("[a-e]{1,3}", 0..8)) {
+            let j1 = jaccard(a.iter(), b.iter());
+            let j2 = jaccard(b.iter(), a.iter());
+            prop_assert!((j1 - j2).abs() < 1e-12);
+        }
+    }
+}

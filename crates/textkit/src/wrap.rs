@@ -1,0 +1,251 @@
+//! Line wrapping and reflow.
+//!
+//! The corpus generator renders erratum prose into fixed-width document
+//! lines (hyphenating words that straddle the margin, as PDF text extraction
+//! produces); the extraction pipeline reverses the process. Keeping both
+//! directions in one module makes the invariant testable:
+//! `reflow(wrap(text)) == text` modulo whitespace.
+
+/// Wraps `text` to lines of at most `width` characters.
+///
+/// Words longer than `width` are split with a trailing hyphen, mimicking the
+/// hyphenation found in extracted PDF text.
+///
+/// # Panics
+///
+/// Panics if `width < 2` (no room for a split character plus hyphen).
+pub fn wrap(text: &str, width: usize) -> Vec<String> {
+    assert!(width >= 2, "wrap width must be at least 2");
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    for word in text.split_whitespace() {
+        let mut word = word;
+        loop {
+            let sep = usize::from(!line.is_empty());
+            if line.len() + sep + word.len() <= width {
+                if sep == 1 {
+                    line.push(' ');
+                }
+                line.push_str(word);
+                break;
+            }
+            let room = width.saturating_sub(line.len() + sep);
+            if room >= 3 && word.len() > room {
+                // Split the word: keep room-1 chars plus a hyphen.
+                if let Some(split) = choose_split(word, room - 1) {
+                    if sep == 1 {
+                        line.push(' ');
+                    }
+                    line.push_str(&word[..split]);
+                    line.push('-');
+                    word = &word[split..];
+                }
+            }
+            lines.push(std::mem::take(&mut line));
+            while word.len() > width {
+                // Word alone exceeds the width: hard-split across lines.
+                let Some(split) = choose_split(word, width - 1) else {
+                    // No safe split point (e.g. a run of hyphens): emit the
+                    // word on its own overlong line rather than looping.
+                    lines.push(word.to_string());
+                    word = "";
+                    break;
+                };
+                line.push_str(&word[..split]);
+                line.push('-');
+                lines.push(std::mem::take(&mut line));
+                word = &word[split..];
+            }
+            if word.is_empty() {
+                break;
+            }
+        }
+    }
+    if !line.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+/// Picks a hyphenation split point at or below `desired` that is safe to
+/// undo: not at the string ends and not adjacent to an existing hyphen
+/// (splitting next to a real hyphen would make the artificial one
+/// indistinguishable on reflow). Returns `None` if no such point exists.
+fn choose_split(word: &str, desired: usize) -> Option<usize> {
+    let bytes = word.as_bytes();
+    let mut split = floor_char_boundary(word, desired.min(word.len().saturating_sub(1)));
+    while split > 0 {
+        let before = bytes[split - 1];
+        let after = bytes[split];
+        if before != b'-' && after != b'-' && word.is_char_boundary(split) {
+            return Some(split);
+        }
+        split -= 1;
+        while split > 0 && !word.is_char_boundary(split) {
+            split -= 1;
+        }
+    }
+    None
+}
+
+/// Largest byte index `<= at` lying on a char boundary of `s`.
+fn floor_char_boundary(s: &str, at: usize) -> usize {
+    if at >= s.len() {
+        return s.len();
+    }
+    let mut i = at;
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// Reflows wrapped lines back into a single paragraph string.
+///
+/// Lines ending in a hyphen are joined to the next line without a space
+/// (de-hyphenation); other line breaks become single spaces. A hyphen that
+/// is part of a real compound word (`virtual-8086`) survives because real
+/// compounds are never rendered at line ends followed by an alphanumeric
+/// continuation *by this module's `wrap`*; PDF sources cannot make that
+/// distinction either, which is exactly the ambiguity the extraction
+/// pipeline inherits.
+pub fn reflow(lines: &[impl AsRef<str>]) -> String {
+    let mut out = String::new();
+    for line in lines {
+        let line = line.as_ref().trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(stripped) = out.strip_suffix('-') {
+            // Join hyphen-split word (underscores count as word characters:
+            // register names like LBR_FROM_IP split mid-identifier).
+            let word_char = |c: char| c.is_alphanumeric() || c == '_';
+            let head_ok = stripped.chars().next_back().is_some_and(word_char);
+            let tail_ok = line.chars().next().is_some_and(word_char);
+            if head_ok && tail_ok {
+                out.truncate(stripped.len());
+                out.push_str(line);
+                continue;
+            }
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wrap_respects_width() {
+        let text = "Under a highly specific and detailed set of internal timing conditions \
+                    the processor may hang";
+        for width in [20, 40, 72] {
+            for line in wrap(text, width) {
+                assert!(line.len() <= width, "{line:?} exceeds {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_reflow_roundtrip() {
+        let text = "Execution of the FSAVE, FNSAVE, FSTENV, or FNSTENV instructions in \
+                    real-address mode or virtual-8086 mode may save an incorrect value";
+        for width in [18, 30, 50, 100] {
+            let lines = wrap(text, width);
+            assert_eq!(reflow(&lines), text, "width {width}");
+        }
+    }
+
+    #[test]
+    fn long_word_is_hyphen_split() {
+        let lines = wrap("supercalifragilistic", 8);
+        assert!(lines.len() > 1);
+        assert!(lines[0].ends_with('-'));
+        assert_eq!(reflow(&lines), "supercalifragilistic");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(wrap("", 40).is_empty());
+        assert_eq!(reflow(&Vec::<String>::new()), "");
+        assert_eq!(reflow(&["", "  "]), "");
+    }
+
+    #[test]
+    fn reflow_joins_plain_lines_with_spaces() {
+        assert_eq!(reflow(&["one two", "three"]), "one two three");
+    }
+
+    #[test]
+    fn reflow_preserves_real_hyphen_before_punctuation() {
+        // A line ending in "-" followed by a non-alphanumeric start is not
+        // a hyphenation artifact.
+        assert_eq!(reflow(&["a -", "(b)"]), "a - (b)");
+    }
+
+    #[test]
+    fn identifiers_with_underscores_roundtrip() {
+        let text = "the LBR_FROM_IP register (MSR 0x680) may contain an incorrect value";
+        for width in 8..30 {
+            let lines = wrap(text, width);
+            assert_eq!(reflow(&lines), text, "width {width}");
+        }
+    }
+
+    #[test]
+    fn unsplittable_runs_do_not_loop() {
+        // Runs of hyphens cannot be safely split; they land on an overlong
+        // line and survive reflow untouched apart from spacing.
+        let lines = wrap("a ------------ b", 6);
+        assert!(lines.iter().any(|l| l.contains("------------")));
+        let text = "x --------------------------------";
+        let lines = wrap(text, 8);
+        assert_eq!(reflow(&lines), text);
+    }
+
+    #[test]
+    fn natural_hyphen_near_split_point_survives() {
+        // "back-to-back" forced to wrap right around its own hyphens.
+        for width in 4..30 {
+            let text = "a back-to-back sequence of operations on the bus";
+            let lines = wrap(text, width.max(14));
+            assert_eq!(reflow(&lines), text, "width {width}");
+        }
+        // The word alone, at widths that land splits on the hyphens.
+        for width in 5..14 {
+            let lines = wrap("back-to-back", width);
+            assert_eq!(reflow(&lines), "back-to-back", "width {width}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_prose(
+            words in prop::collection::vec("[a-zA-Z0-9]{1,14}", 1..40),
+            width in 16usize..90,
+        ) {
+            let text = words.join(" ");
+            let lines = wrap(&text, width);
+            prop_assert_eq!(reflow(&lines), text);
+            for line in &lines {
+                prop_assert!(line.len() <= width);
+            }
+        }
+
+        #[test]
+        fn roundtrip_hyphenated_prose(
+            words in prop::collection::vec("[a-z]{1,6}(-[a-z]{1,6}){0,2}", 1..30),
+            width in 16usize..60,
+        ) {
+            let text = words.join(" ");
+            let lines = wrap(&text, width);
+            prop_assert_eq!(reflow(&lines), text);
+        }
+    }
+}

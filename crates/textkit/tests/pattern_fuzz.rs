@@ -1,0 +1,73 @@
+//! Fuzz-style robustness tests for the phrase-pattern engine: arbitrary DSL
+//! sources and arbitrary haystacks must never panic, and successful parses
+//! must behave consistently.
+
+use proptest::prelude::*;
+use rememberr_textkit::{Pattern, PreparedText};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parsing_never_panics(source in ".{0,60}") {
+        let _ = Pattern::parse(&source);
+    }
+
+    #[test]
+    fn matching_never_panics(
+        source in "[a-z<>#?|* ]{1,40}",
+        haystack in "[ -~]{0,200}",
+    ) {
+        if let Ok(pattern) = Pattern::parse(&source) {
+            let prepared = PreparedText::new(&haystack);
+            let _ = pattern.is_match(&prepared);
+            for span in pattern.find_in(&prepared) {
+                // Spans must be valid, ordered ranges into the haystack.
+                prop_assert!(span.start <= span.end);
+                prop_assert!(span.end <= haystack.len());
+                prop_assert!(haystack.is_char_boundary(span.start));
+                prop_assert!(haystack.is_char_boundary(span.end));
+            }
+        }
+    }
+
+    #[test]
+    fn find_in_spans_are_disjoint_and_sorted(
+        words in prop::collection::vec("[a-d]{1,3}", 0..30),
+        needle in "[a-d]{1,3}",
+    ) {
+        let haystack = words.join(" ");
+        let pattern = Pattern::parse(&needle).expect("single literal parses");
+        let prepared = PreparedText::new(&haystack);
+        let spans = pattern.find_in(&prepared);
+        for pair in spans.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start);
+        }
+        // Count agrees with direct token counting.
+        let expected = words.iter().filter(|w| **w == needle).count();
+        prop_assert_eq!(spans.len(), expected);
+    }
+
+    #[test]
+    fn is_match_agrees_with_find_in(
+        source in "[a-c]{1,3}( [a-c]{1,3}){0,2}",
+        haystack in "[a-c ]{0,60}",
+    ) {
+        if let Ok(pattern) = Pattern::parse(&source) {
+            let prepared = PreparedText::new(&haystack);
+            prop_assert_eq!(pattern.is_match(&prepared), !pattern.find_in(&prepared).is_empty());
+        }
+    }
+
+    #[test]
+    fn gaps_are_upper_bounds(
+        gap in 0usize..4,
+        filler in prop::collection::vec("[x-z]{1,3}", 0..6),
+    ) {
+        let source = format!("alpha <{gap}> omega");
+        let pattern = Pattern::parse(&source).expect("gap pattern parses");
+        let haystack = format!("alpha {} omega", filler.join(" "));
+        let matches = pattern.matches(&haystack);
+        prop_assert_eq!(matches, filler.len() <= gap, "{}", haystack);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: generate a corpus, build the database, ask it questions.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rememberr::{Database, Query};
+use rememberr_analysis::fig10_trigger_frequency;
+use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+use rememberr_model::{Context, Trigger, Vendor};
+
+fn main() {
+    // A 20%-scale corpus keeps the example fast; CorpusSpec::paper() gives
+    // the full 2,563-erratum corpus.
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.2));
+    println!(
+        "generated {} errata across {} documents",
+        corpus.total_errata(),
+        corpus.structured.len()
+    );
+
+    // Build the keyed database and annotate it.
+    let mut db = Database::from_documents(&corpus.structured);
+    println!(
+        "database: {} entries, {} unique bugs (Intel {}, AMD {})",
+        db.len(),
+        db.unique_count(),
+        db.unique_count_for(Vendor::Intel),
+        db.unique_count_for(Vendor::Amd),
+    );
+    classify_database(
+        &mut db,
+        &Rules::standard(),
+        HumanOracle::Simulated(&corpus.truth),
+        &FourEyesConfig::default(),
+    );
+
+    // Queries: how many unique bugs need a power-state change AND an MSR
+    // write (triggers are conjunctive)?
+    let combo = Query::new()
+        .trigger(Trigger::ConfigRegister)
+        .trigger(Trigger::PowerStateChange)
+        .unique_only()
+        .count(&db);
+    println!("bugs needing MSR write + power-state change together: {combo}");
+
+    // ... and how many surface in virtual-machine guests?
+    let vm = Query::new()
+        .context(Context::VmGuest)
+        .unique_only()
+        .count(&db);
+    println!("bugs applicable in VM-guest context: {vm}");
+
+    // The headline chart: most frequent triggers per vendor.
+    for (_, chart) in fig10_trigger_frequency(&db, 8) {
+        println!("\n{}", chart.render_text(40));
+    }
+}

@@ -1,0 +1,57 @@
+//! Section VI in action: planning a design-testing campaign from the
+//! database.
+//!
+//! Demonstrates the paper's key insight as an executable model: triggers
+//! are conjunctive (a campaign step must apply *all* of a bug's triggers),
+//! contexts and effects are disjunctive (running in one applicable context
+//! and watching one observable effect suffices).
+//!
+//! ```sh
+//! cargo run --release --example testing_campaign
+//! ```
+
+use rememberr::Database;
+use rememberr_analysis::{
+    blackbox_guidance, plan_campaign, recommend_observation_points, top_trigger_pairs,
+    fig12_trigger_correlation,
+};
+use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+use rememberr_model::{Trigger, TriggerSet};
+
+fn main() {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.5));
+    let mut db = Database::from_documents(&corpus.structured);
+    classify_database(
+        &mut db,
+        &Rules::standard(),
+        HumanOracle::Simulated(&corpus.truth),
+        &FourEyesConfig::default(),
+    );
+
+    // Which stimuli empirically interact? (Figure 12 distilled.)
+    let matrix = fig12_trigger_correlation(&db);
+    println!("== Strongest trigger interactions (combine these stimuli) ==");
+    for (a, b, n) in top_trigger_pairs(&matrix, 8) {
+        println!("  {:<14} x {:<14} -> {n:>4} known bugs", a.code(), b.code());
+    }
+    println!();
+
+    // A 10-step campaign, 3 stimuli per step, 4 observation points.
+    let plan = plan_campaign(&db, 10, 3, 4);
+    println!("{}", plan.render_text());
+
+    // If the rig can exert power transitions under MSR-driven configs
+    // (the paper's concrete recommendation), where should it look?
+    let stimuli: TriggerSet = [
+        Trigger::ConfigRegister,
+        Trigger::PowerStateChange,
+        Trigger::Throttling,
+    ]
+    .into_iter()
+    .collect();
+    println!("{}", recommend_observation_points(&db, &stimuli).render_text(40));
+
+    // Formal-methods scoping: which design parts not to black-box.
+    println!("{}", blackbox_guidance(&db).render_text(40));
+}

@@ -1,0 +1,85 @@
+//! End-to-end pipeline test: rendered page streams in, study report out.
+
+use rememberr::{evaluate_classification, evaluate_dedup, Database};
+use rememberr_analysis::FullReport;
+use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+use rememberr_extract::extract_corpus;
+use rememberr_model::Vendor;
+
+/// The full pipeline at 25% scale, starting from the *rendered text* (the
+/// hardest input), not the structured documents.
+#[test]
+fn rendered_text_to_full_report() {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.25));
+
+    // Extraction reconstructs the structured documents exactly.
+    let (documents, defects) = extract_corpus(
+        corpus
+            .rendered
+            .iter()
+            .map(|r| (r.design, r.text.as_str())),
+    )
+    .expect("extraction succeeds");
+    assert_eq!(documents.len(), 28);
+    for (got, want) in documents.iter().zip(&corpus.structured) {
+        assert_eq!(got.errata, want.errata, "{}", want.design);
+        assert_eq!(got.fix_summary, want.fix_summary, "{}", want.design);
+    }
+
+    // Dedup on extracted data is perfect against ground truth.
+    let mut db = Database::from_documents(&documents);
+    let dedup = evaluate_dedup(&db, &corpus.truth);
+    assert_eq!(dedup.predicted_clusters, dedup.true_clusters);
+    assert_eq!(dedup.pairs.fp, 0);
+    assert_eq!(dedup.pairs.fn_, 0);
+
+    // Classification reaches high agreement with the true annotations.
+    let run = classify_database(
+        &mut db,
+        &Rules::standard(),
+        HumanOracle::Simulated(&corpus.truth),
+        &FourEyesConfig::default(),
+    );
+    let class_eval = evaluate_classification(&db, &corpus.truth);
+    assert!(
+        class_eval.overall.f1() > 0.75,
+        "classification F1 {}",
+        class_eval.overall.f1()
+    );
+
+    // The report builds and covers all figures.
+    let report = FullReport::build(&db, run.four_eyes.as_ref(), Some(defects));
+    let text = report.render_text();
+    assert!(text.contains("Fig. 12"));
+    assert!(text.contains("Observations O1-O13"));
+    assert_eq!(report.observations.len(), 13);
+}
+
+/// Entry and unique counts survive the text round trip at any scale.
+#[test]
+fn counts_survive_extraction_at_multiple_scales() {
+    for scale in [0.05, 0.15] {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(scale));
+        let (documents, _) = extract_corpus(
+            corpus
+                .rendered
+                .iter()
+                .map(|r| (r.design, r.text.as_str())),
+        )
+        .expect("extraction succeeds");
+        let db = Database::from_documents(&documents);
+        for vendor in Vendor::ALL {
+            assert_eq!(
+                db.total_count_for(vendor),
+                corpus.truth.total_count(vendor),
+                "totals at scale {scale} for {vendor}"
+            );
+            assert_eq!(
+                db.unique_count_for(vendor),
+                corpus.truth.unique_count(vendor),
+                "uniques at scale {scale} for {vendor}"
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Accuracy of the pipeline stages against the synthetic ground truth,
+//! including the dedup-strategy ablation.
+
+use rememberr::{
+    evaluate_classification, evaluate_dedup, Database, DedupStrategy,
+};
+use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+
+#[test]
+fn similarity_cascade_recovers_the_manual_pairs() {
+    let spec = CorpusSpec::paper();
+    let corpus = SyntheticCorpus::generate(&spec);
+
+    let full = Database::from_documents(&corpus.structured);
+    let exact_only =
+        Database::from_documents_with(&corpus.structured, DedupStrategy::ExactTitleOnly);
+
+    // The cascade closes exactly the gap the study closed by hand: the
+    // near-duplicate pairs plus intra-document duplicates.
+    let gap = exact_only.unique_count() - full.unique_count();
+    let expected =
+        spec.near_duplicate_pairs + spec.defects.intra_doc_duplicate_pairs;
+    assert_eq!(gap, expected, "cascade closes the manual-merge gap");
+    assert_eq!(
+        full.dedup_stats().cascade_merges,
+        expected,
+        "cascade merge count"
+    );
+
+    // And the cascade makes no mistakes.
+    let eval = evaluate_dedup(&full, &corpus.truth);
+    assert_eq!(eval.pairs.fp, 0);
+    assert_eq!(eval.pairs.fn_, 0);
+
+    // The ablation baseline over-splits but never over-merges.
+    let ablation = evaluate_dedup(&exact_only, &corpus.truth);
+    assert_eq!(ablation.pairs.fp, 0);
+    assert!(ablation.pairs.fn_ > 0);
+}
+
+#[test]
+fn auto_only_classification_has_high_precision_lower_recall() {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.3));
+    let rules = Rules::standard();
+
+    let mut auto_db = Database::from_documents(&corpus.structured);
+    classify_database(
+        &mut auto_db,
+        &rules,
+        HumanOracle::None,
+        &FourEyesConfig::default(),
+    );
+    let auto_eval = evaluate_classification(&auto_db, &corpus.truth);
+
+    let mut assisted_db = Database::from_documents(&corpus.structured);
+    classify_database(
+        &mut assisted_db,
+        &rules,
+        HumanOracle::Simulated(&corpus.truth),
+        &FourEyesConfig::default(),
+    );
+    let assisted_eval = evaluate_classification(&assisted_db, &corpus.truth);
+
+    // Humans only ever add categories the filter deferred on, so recall
+    // improves; precision stays high in both modes.
+    assert!(
+        assisted_eval.overall.recall() >= auto_eval.overall.recall(),
+        "assisted recall {} < auto recall {}",
+        assisted_eval.overall.recall(),
+        auto_eval.overall.recall()
+    );
+    assert!(auto_eval.overall.precision() > 0.7, "auto precision {}", auto_eval.overall.precision());
+    assert!(
+        assisted_eval.overall.f1() > 0.75,
+        "assisted F1 {}",
+        assisted_eval.overall.f1()
+    );
+}
+
+#[test]
+fn classification_workload_reduction_matches_the_paper_shape() {
+    // The study cut 67,680 decisions per human to 2,064 (a ~97% reduction).
+    let corpus = SyntheticCorpus::paper();
+    let mut db = Database::from_documents(&corpus.structured);
+    let run = classify_database(
+        &mut db,
+        &Rules::standard(),
+        HumanOracle::Simulated(&corpus.truth),
+        &FourEyesConfig::default(),
+    );
+    assert_eq!(run.stats.unique_errata, 1_128);
+    assert_eq!(run.stats.raw_decisions, 67_680);
+    assert!(
+        run.stats.reduction() > 0.9,
+        "workload reduction {:.3}",
+        run.stats.reduction()
+    );
+    assert!(
+        run.stats.human_decisions < 8_000,
+        "human decisions {}",
+        run.stats.human_decisions
+    );
+}

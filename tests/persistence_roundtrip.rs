@@ -1,0 +1,65 @@
+//! Persistence across the pipeline: annotated databases and Table VII
+//! records survive round trips byte-for-byte.
+
+use rememberr::{load, save, Database, Query};
+use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+use rememberr_model::MachineErratum;
+
+fn annotated_db() -> (SyntheticCorpus, Database) {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.1));
+    let mut db = Database::from_documents(&corpus.structured);
+    classify_database(
+        &mut db,
+        &Rules::standard(),
+        HumanOracle::Simulated(&corpus.truth),
+        &FourEyesConfig::default(),
+    );
+    (corpus, db)
+}
+
+#[test]
+fn annotated_database_roundtrips() {
+    let (_, db) = annotated_db();
+    let mut buf = Vec::new();
+    save(&db, &mut buf).expect("save succeeds");
+    let restored = load(buf.as_slice()).expect("load succeeds");
+    assert_eq!(restored, db);
+
+    // Queries behave identically on the restored database.
+    let q = Query::new().unique_only().annotated_only();
+    assert_eq!(q.count(&db), q.count(&restored));
+}
+
+#[test]
+fn saved_database_is_json_lines() {
+    let (_, db) = annotated_db();
+    let mut buf = Vec::new();
+    save(&db, &mut buf).expect("save succeeds");
+    let text = String::from_utf8(buf).expect("valid UTF-8");
+    assert_eq!(text.lines().count(), db.len() + 1);
+    for line in text.lines() {
+        let _: serde_json::Value = serde_json::from_str(line).expect("each line is JSON");
+    }
+}
+
+#[test]
+fn every_unique_entry_exports_to_table_vii_format() {
+    let (_, db) = annotated_db();
+    for entry in db.unique_entries() {
+        let record = MachineErratum {
+            key: entry.key.expect("keyed"),
+            title: entry.erratum.title.clone(),
+            annotation: entry.annotation.clone().unwrap_or_default(),
+            comments: String::new(),
+            root_cause: None,
+            workaround: entry.erratum.workaround.clone(),
+            status: entry.erratum.status.clone(),
+        };
+        let parsed: MachineErratum = record
+            .render()
+            .parse()
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.id()));
+        assert_eq!(parsed, record, "{}", entry.id());
+    }
+}
