@@ -6,9 +6,7 @@
 //! errata, as the paper's Section V-B does.
 
 use rememberr::Database;
-use rememberr_model::{
-    Context, Design, Effect, Trigger, TriggerClass, Vendor,
-};
+use rememberr_model::{Context, Design, Effect, Trigger, TriggerClass, Vendor};
 
 use crate::chart::{BarChart, MatrixChart};
 use crate::util::unique_of;
@@ -20,10 +18,8 @@ pub fn fig10_trigger_frequency(db: &Database, top: usize) -> Vec<(Vendor, BarCha
         .iter()
         .map(|&vendor| {
             let uniques = unique_of(db, vendor);
-            let mut chart = BarChart::new(
-                format!("Fig. 10 — Most frequent triggers ({vendor})"),
-                "%",
-            );
+            let mut chart =
+                BarChart::new(format!("Fig. 10 — Most frequent triggers ({vendor})"), "%");
             for &trigger in Trigger::ALL {
                 let n = uniques
                     .iter()
@@ -47,10 +43,8 @@ pub fn fig17_context_frequency(db: &Database, top: usize) -> Vec<(Vendor, BarCha
         .iter()
         .map(|&vendor| {
             let uniques = unique_of(db, vendor);
-            let mut chart = BarChart::new(
-                format!("Fig. 17 — Most frequent contexts ({vendor})"),
-                "%",
-            );
+            let mut chart =
+                BarChart::new(format!("Fig. 17 — Most frequent contexts ({vendor})"), "%");
             for &context in Context::ALL {
                 let n = uniques
                     .iter()
@@ -75,10 +69,8 @@ pub fn fig18_effect_frequency(db: &Database, top: usize) -> Vec<(Vendor, BarChar
         .iter()
         .map(|&vendor| {
             let uniques = unique_of(db, vendor);
-            let mut chart = BarChart::new(
-                format!("Fig. 18 — Most frequent effects ({vendor})"),
-                "%",
-            );
+            let mut chart =
+                BarChart::new(format!("Fig. 18 — Most frequent effects ({vendor})"), "%");
             for &effect in Effect::ALL {
                 let n = uniques
                     .iter()
@@ -145,10 +137,7 @@ pub fn fig11_trigger_counts(db: &Database) -> TriggerCountAnalysis {
                 .iter()
                 .filter(|e| e.annotation_or_empty().complex_conditions)
                 .count();
-            (
-                vendor,
-                complex as f64 / of_vendor.len().max(1) as f64,
-            )
+            (vendor, complex as f64 / of_vendor.len().max(1) as f64)
         })
         .collect();
 
@@ -167,7 +156,10 @@ pub fn fig13_class_evolution(db: &Database) -> MatrixChart {
     let docs: Vec<Design> = Design::intel().collect();
     let mut matrix = MatrixChart::zeros(
         "Fig. 13 — Trigger classes over Intel Core generations",
-        TriggerClass::ALL.iter().map(|c| c.code().to_string()).collect(),
+        TriggerClass::ALL
+            .iter()
+            .map(|c| c.code().to_string())
+            .collect(),
         docs.iter().map(|d| d.label().to_string()).collect(),
     );
     for (col, &design) in docs.iter().enumerate() {
@@ -191,7 +183,10 @@ pub fn fig13_class_evolution(db: &Database) -> MatrixChart {
 pub fn fig14_class_share(db: &Database) -> MatrixChart {
     let mut matrix = MatrixChart::zeros(
         "Fig. 14 — Trigger class share by vendor",
-        TriggerClass::ALL.iter().map(|c| c.code().to_string()).collect(),
+        TriggerClass::ALL
+            .iter()
+            .map(|c| c.code().to_string())
+            .collect(),
         Vendor::ALL.iter().map(|v| v.to_string()).collect(),
     );
     for (col, &vendor) in Vendor::ALL.iter().enumerate() {

@@ -116,7 +116,11 @@ impl SeriesChart {
     pub fn render_text(&self, buckets: usize) -> String {
         const GLYPHS: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
         let mut out = String::new();
-        let _ = writeln!(out, "== {} ==  [{} vs {}]", self.title, self.y_label, self.x_label);
+        let _ = writeln!(
+            out,
+            "== {} ==  [{} vs {}]",
+            self.title, self.y_label, self.x_label
+        );
         let (x_min, x_max) = self.x_range();
         let y_max = self
             .series
@@ -228,7 +232,11 @@ impl MatrixChart {
             let mut line = String::new();
             for &v in row {
                 let idx = ((v / max) * (GLYPHS.len() - 1) as f64).round() as usize;
-                line.push(if v == 0.0 { ' ' } else { GLYPHS[idx.min(GLYPHS.len() - 1)] });
+                line.push(if v == 0.0 {
+                    ' '
+                } else {
+                    GLYPHS[idx.min(GLYPHS.len() - 1)]
+                });
             }
             let _ = writeln!(out, "{row_label:<label_w$} |{line}|");
         }

@@ -111,8 +111,14 @@ mod tests {
         let corpus = SyntheticCorpus::paper();
         let db = Database::from_documents(&corpus.structured);
         let stats = corpus_stats(&db);
-        assert_eq!(stats.totals, vec![(Vendor::Intel, 2_057), (Vendor::Amd, 506)]);
-        assert_eq!(stats.uniques, vec![(Vendor::Intel, 743), (Vendor::Amd, 385)]);
+        assert_eq!(
+            stats.totals,
+            vec![(Vendor::Intel, 2_057), (Vendor::Amd, 506)]
+        );
+        assert_eq!(
+            stats.uniques,
+            vec![(Vendor::Intel, 743), (Vendor::Amd, 385)]
+        );
         assert_eq!(stats.per_document.len(), 28);
         let text = stats.render_text();
         assert!(text.contains("Intel: 2057 errata collected, 743 unique"));
@@ -121,13 +127,8 @@ mod tests {
     #[test]
     fn defect_report_renders_counts() {
         let corpus = SyntheticCorpus::paper();
-        let (_, report) = extract_corpus(
-            corpus
-                .rendered
-                .iter()
-                .map(|r| (r.design, r.text.as_str())),
-        )
-        .unwrap();
+        let (_, report) =
+            extract_corpus(corpus.rendered.iter().map(|r| (r.design, r.text.as_str()))).unwrap();
         let text = render_defect_report(&report);
         assert!(text.contains("double-added revision claims :   8 errata across 3 documents"));
         assert!(text.contains("missing from revision notes  :  12 errata across 2 documents"));

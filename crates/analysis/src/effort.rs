@@ -105,8 +105,7 @@ mod tests {
         let agreement = &chart.series[0].1;
         let above = agreement.iter().filter(|(_, y)| *y > 78.0).count();
         assert!(above >= agreement.len() - 1, "{agreement:?}");
-        let avg: f64 =
-            agreement.iter().map(|(_, y)| y).sum::<f64>() / agreement.len() as f64;
+        let avg: f64 = agreement.iter().map(|(_, y)| y).sum::<f64>() / agreement.len() as f64;
         assert!(avg > 80.0, "average agreement {avg}");
     }
 }

@@ -34,7 +34,10 @@ pub fn export_csvs(report: &FullReport, dir: &Path) -> io::Result<Vec<String>> {
     write("fig05_latency.csv", report.fig05.chart.to_csv())?;
     for (vendor, chart) in &report.fig06.charts {
         write(
-            &format!("fig06_workarounds_{}.csv", vendor.to_string().to_lowercase()),
+            &format!(
+                "fig06_workarounds_{}.csv",
+                vendor.to_string().to_lowercase()
+            ),
             chart.to_csv(),
         )?;
     }
@@ -111,10 +114,8 @@ mod tests {
         );
         let report = FullReport::build(&db, run.four_eyes.as_ref(), None);
 
-        let dir = std::env::temp_dir().join(format!(
-            "rememberr-export-test-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("rememberr-export-test-{}", std::process::id()));
         let written = export_csvs(&report, &dir).expect("export succeeds");
         assert!(written.len() >= 20, "only {} files", written.len());
         for name in &written {

@@ -8,9 +8,7 @@
 //! observation points (one observable effect suffices).
 
 use rememberr::Database;
-use rememberr_model::{
-    Context, ContextSet, Effect, EffectSet, MsrName, Trigger, TriggerSet,
-};
+use rememberr_model::{Context, ContextSet, Effect, EffectSet, MsrName, Trigger, TriggerSet};
 
 use crate::chart::BarChart;
 
@@ -107,7 +105,12 @@ fn bug_views(db: &Database) -> Vec<BugView> {
         .collect()
 }
 
-fn detectable(bug: &BugView, step_triggers: &TriggerSet, contexts: &ContextSet, watch: &EffectSet) -> bool {
+fn detectable(
+    bug: &BugView,
+    step_triggers: &TriggerSet,
+    contexts: &ContextSet,
+    watch: &EffectSet,
+) -> bool {
     bug.triggers.satisfied_by_all(step_triggers)
         && bug.contexts.satisfied_by_any(contexts)
         && bug.effects.satisfied_by_any(watch)
@@ -163,9 +166,7 @@ pub fn plan_campaign(
         let reachable: Vec<usize> = bugs
             .iter()
             .enumerate()
-            .filter(|(i, b)| {
-                undetected[*i] && b.triggers.satisfied_by_all(&step_triggers)
-            })
+            .filter(|(i, b)| undetected[*i] && b.triggers.satisfied_by_all(&step_triggers))
             .map(|(i, _)| i)
             .collect();
 
@@ -189,9 +190,7 @@ pub fn plan_campaign(
                 grown.insert(candidate);
                 let gain = reachable
                     .iter()
-                    .filter(|&&i| {
-                        detectable(&bugs[i], &step_triggers, &contexts, &grown)
-                    })
+                    .filter(|&&i| detectable(&bugs[i], &step_triggers, &contexts, &grown))
                     .count();
                 if best.is_none_or(|(_, g)| gain > g) {
                     best = Some((candidate, gain));
@@ -245,17 +244,12 @@ pub fn plan_campaign(
 /// stimuli: how many known bugs each effect would reveal.
 pub fn recommend_observation_points(db: &Database, applied: &TriggerSet) -> BarChart {
     let bugs = bug_views(db);
-    let mut chart = BarChart::new(
-        format!("Observation points for stimuli {applied}"),
-        " bugs",
-    );
+    let mut chart = BarChart::new(format!("Observation points for stimuli {applied}"), " bugs");
     for &effect in Effect::ALL {
         let watch: EffectSet = [effect].into_iter().collect();
         let n = bugs
             .iter()
-            .filter(|b| {
-                b.triggers.satisfied_by_all(applied) && b.effects.satisfied_by_any(&watch)
-            })
+            .filter(|b| b.triggers.satisfied_by_all(applied) && b.effects.satisfied_by_any(&watch))
             .count();
         if n > 0 {
             chart.push(effect.code(), n as f64);

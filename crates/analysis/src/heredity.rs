@@ -29,10 +29,7 @@ pub fn fig03_heredity(db: &Database) -> HeredityAnalysis {
         labels,
     );
 
-    let keys_per_doc: Vec<Vec<UniqueKey>> = docs
-        .iter()
-        .map(|&d| keys_in_document(db, d))
-        .collect();
+    let keys_per_doc: Vec<Vec<UniqueKey>> = docs.iter().map(|&d| keys_in_document(db, d)).collect();
 
     for (i, keys_i) in keys_per_doc.iter().enumerate() {
         for (j, keys_j) in keys_per_doc.iter().enumerate() {

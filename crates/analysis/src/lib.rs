@@ -57,10 +57,10 @@
 
 mod categories;
 mod chart;
-mod export;
 mod corpus_stats;
 mod correlation;
 mod effort;
+mod export;
 mod guidance;
 mod heredity;
 mod msrfig;
@@ -74,13 +74,14 @@ mod workfix;
 
 pub use categories::{
     class_breakdown, fig10_trigger_frequency, fig11_trigger_counts, fig13_class_evolution,
-    fig14_class_share, fig15_external_breakdown, fig16_feature_breakdown,
-    fig17_context_frequency, fig18_effect_frequency, TriggerCountAnalysis,
+    fig14_class_share, fig15_external_breakdown, fig16_feature_breakdown, fig17_context_frequency,
+    fig18_effect_frequency, TriggerCountAnalysis,
 };
 pub use chart::{BarChart, MatrixChart, SeriesChart};
 pub use corpus_stats::{corpus_stats, render_defect_report, CorpusStats};
 pub use correlation::{fig12_trigger_correlation, top_trigger_pairs};
 pub use effort::{fig08_classification_steps, fig09_agreement};
+pub use export::export_csvs;
 pub use guidance::{
     blackbox_guidance, plan_campaign, recommend_observation_points, CampaignPlan, CampaignStep,
 };
@@ -90,7 +91,6 @@ pub use observations::{observations, render_observations, Observation};
 pub use rediscovery::{
     rediscovery_by_pair, rediscovery_chart, rediscovery_stats, RediscoveryStats,
 };
-pub use export::export_csvs;
 pub use report::FullReport;
 pub use sweeps::{dedup_threshold_sweep, observation_budget_sweep, trigger_budget_sweep};
 pub use timeline::{

@@ -31,12 +31,7 @@ pub fn fig19_msr_witnesses(db: &Database, top: usize) -> MsrWitnessAnalysis {
         for name in MsrName::ALL {
             let n = uniques
                 .iter()
-                .filter(|e| {
-                    e.annotation_or_empty()
-                        .msrs
-                        .iter()
-                        .any(|r| r.name == name)
-                })
+                .filter(|e| e.annotation_or_empty().msrs.iter().any(|r| r.name == name))
                 .count();
             if n > 0 {
                 chart.push(name.text(), 100.0 * n as f64 / total as f64);
@@ -94,10 +89,7 @@ mod tests {
     fn machine_check_witness_rate_in_paper_band() {
         let analysis = fig19_msr_witnesses(&annotated_db(), 5);
         for (vendor, rate) in &analysis.machine_check_witness {
-            assert!(
-                (0.05..0.12).contains(rate),
-                "{vendor}: {rate}"
-            );
+            assert!((0.05..0.12).contains(rate), "{vendor}: {rate}");
         }
     }
 

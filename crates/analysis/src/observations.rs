@@ -52,9 +52,7 @@ pub fn observations(db: &Database) -> Vec<Observation> {
 
 fn o1(db: &Database) -> Observation {
     // Entries per Intel document; the latest documents must not collapse.
-    let counts: Vec<usize> = Design::intel()
-        .map(|d| db.entries_for(d).count())
-        .collect();
+    let counts: Vec<usize> = Design::intel().map(|d| db.entries_for(d).count()).collect();
     let mut sorted = counts.clone();
     sorted.sort_unstable();
     let median = sorted[sorted.len() / 2] as f64;
@@ -245,11 +243,10 @@ fn o10(db: &Database) -> Observation {
         let diff = (matrix.get(class.index(), 0) - matrix.get(class.index(), 1)).abs();
         max_diff_core = max_diff_core.max(diff);
     }
-    let ext_fea_diff = (matrix.get(TriggerClass::Fea.index(), 0)
-        - matrix.get(TriggerClass::Fea.index(), 1))
-    .abs()
-        + (matrix.get(TriggerClass::Ext.index(), 0) - matrix.get(TriggerClass::Ext.index(), 1))
-            .abs();
+    let ext_fea_diff =
+        (matrix.get(TriggerClass::Fea.index(), 0) - matrix.get(TriggerClass::Fea.index(), 1)).abs()
+            + (matrix.get(TriggerClass::Ext.index(), 0) - matrix.get(TriggerClass::Ext.index(), 1))
+                .abs();
     Observation {
         id: 10,
         statement: "The representation of trigger classes over the errata corpora is very \
@@ -358,7 +355,11 @@ mod tests {
         let obs = observations(&db);
         assert_eq!(obs.len(), 13);
         for o in &obs {
-            assert!(o.holds, "O{} fails: {}\n  {}", o.id, o.statement, o.evidence);
+            assert!(
+                o.holds,
+                "O{} fails: {}\n  {}",
+                o.id, o.statement, o.evidence
+            );
         }
     }
 

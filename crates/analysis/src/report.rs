@@ -70,6 +70,13 @@ pub struct FullReport {
     pub defects: Option<ExtractionReport>,
 }
 
+/// Runs one figure renderer under a named span, so `--trace` and the
+/// duration histograms break the report down per figure.
+fn timed<T>(name: &'static str, build: impl FnOnce() -> T) -> T {
+    let _span = rememberr_obs::span(name);
+    build()
+}
+
 impl FullReport {
     /// Computes every analysis over an annotated database.
     pub fn build(
@@ -77,30 +84,35 @@ impl FullReport {
         four_eyes: Option<&FourEyesOutcome>,
         defects: Option<ExtractionReport>,
     ) -> Self {
+        let _span = rememberr_obs::span!("analysis.full_report");
         Self {
-            stats: corpus_stats(db),
-            fig02: Vendor::ALL
-                .iter()
-                .map(|&v| (v, fig02_disclosure_timeline(db, v)))
-                .collect(),
-            fig03: fig03_heredity(db),
-            fig04: fig04_shared_set_timeline(db),
-            fig05: fig05_latency(db),
-            fig06: fig06_workarounds(db),
-            fig07: fig07_fixes(db),
-            fig08: four_eyes.map(fig08_classification_steps),
-            fig09: four_eyes.map(fig09_agreement),
-            fig10: fig10_trigger_frequency(db, 10),
-            fig11: fig11_trigger_counts(db),
-            fig12: fig12_trigger_correlation(db),
-            fig13: fig13_class_evolution(db),
-            fig14: fig14_class_share(db),
-            fig15: fig15_external_breakdown(db),
-            fig16: fig16_feature_breakdown(db),
-            fig17: fig17_context_frequency(db, 10),
-            fig18: fig18_effect_frequency(db, 10),
-            fig19: fig19_msr_witnesses(db, 8),
-            observations: observations(db),
+            stats: timed("analysis.corpus_stats", || corpus_stats(db)),
+            fig02: timed("analysis.fig02", || {
+                Vendor::ALL
+                    .iter()
+                    .map(|&v| (v, fig02_disclosure_timeline(db, v)))
+                    .collect()
+            }),
+            fig03: timed("analysis.fig03", || fig03_heredity(db)),
+            fig04: timed("analysis.fig04", || fig04_shared_set_timeline(db)),
+            fig05: timed("analysis.fig05", || fig05_latency(db)),
+            fig06: timed("analysis.fig06", || fig06_workarounds(db)),
+            fig07: timed("analysis.fig07", || fig07_fixes(db)),
+            fig08: timed("analysis.fig08", || {
+                four_eyes.map(fig08_classification_steps)
+            }),
+            fig09: timed("analysis.fig09", || four_eyes.map(fig09_agreement)),
+            fig10: timed("analysis.fig10", || fig10_trigger_frequency(db, 10)),
+            fig11: timed("analysis.fig11", || fig11_trigger_counts(db)),
+            fig12: timed("analysis.fig12", || fig12_trigger_correlation(db)),
+            fig13: timed("analysis.fig13", || fig13_class_evolution(db)),
+            fig14: timed("analysis.fig14", || fig14_class_share(db)),
+            fig15: timed("analysis.fig15", || fig15_external_breakdown(db)),
+            fig16: timed("analysis.fig16", || fig16_feature_breakdown(db)),
+            fig17: timed("analysis.fig17", || fig17_context_frequency(db, 10)),
+            fig18: timed("analysis.fig18", || fig18_effect_frequency(db, 10)),
+            fig19: timed("analysis.fig19", || fig19_msr_witnesses(db, 8)),
+            observations: timed("analysis.observations", || observations(db)),
             defects,
         }
     }
@@ -192,13 +204,8 @@ mod tests {
     #[test]
     fn full_report_builds_and_renders() {
         let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.15));
-        let (docs, defects) = extract_corpus(
-            corpus
-                .rendered
-                .iter()
-                .map(|r| (r.design, r.text.as_str())),
-        )
-        .unwrap();
+        let (docs, defects) =
+            extract_corpus(corpus.rendered.iter().map(|r| (r.design, r.text.as_str()))).unwrap();
         let mut db = Database::from_documents(&docs);
         let run = classify_database(
             &mut db,

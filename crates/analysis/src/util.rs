@@ -20,7 +20,7 @@ pub fn cumulative_series(mut dates: Vec<Date>) -> Vec<(f64, f64)> {
 }
 
 /// Unique-bug representatives of a vendor.
-pub fn unique_of<'db>(db: &'db Database, vendor: Vendor) -> Vec<&'db DbEntry> {
+pub fn unique_of(db: &Database, vendor: Vendor) -> Vec<&DbEntry> {
     db.unique_entries()
         .into_iter()
         .filter(|e| e.vendor() == vendor)
@@ -29,10 +29,7 @@ pub fn unique_of<'db>(db: &'db Database, vendor: Vendor) -> Vec<&'db DbEntry> {
 
 /// Distinct cluster keys listed by a design's document.
 pub fn keys_in_document(db: &Database, design: rememberr_model::Design) -> Vec<UniqueKey> {
-    let mut keys: Vec<UniqueKey> = db
-        .entries_for(design)
-        .filter_map(|e| e.key)
-        .collect();
+    let mut keys: Vec<UniqueKey> = db.entries_for(design).filter_map(|e| e.key).collect();
     keys.sort_unstable();
     keys.dedup();
     keys

@@ -1,0 +1,89 @@
+//! Overhead of the observability layer.
+//!
+//! The `rememberr-obs` entry points are compiled into every pipeline stage
+//! and must be free when collection is off (the default): each one costs a
+//! relaxed atomic load and a branch. This group measures that no-op path
+//! directly (counter increments, span guards) and through a full extraction
+//! run with collection disabled vs enabled, backing the "<2% overhead when
+//! disabled" design goal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rememberr_bench::paper_corpus;
+use rememberr_extract::extract_document;
+
+fn bench_noop_primitives(c: &mut Criterion) {
+    rememberr_obs::disable();
+    rememberr_obs::reset();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.bench_function("count_disabled_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                rememberr_obs::count("bench.noop_counter", black_box(i));
+            }
+        })
+    });
+    group.bench_function("span_disabled_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                let _span = rememberr_obs::span(black_box("bench.noop_span"));
+            }
+        })
+    });
+    rememberr_obs::enable();
+    group.bench_function("count_enabled_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                rememberr_obs::count("bench.live_counter", black_box(i));
+            }
+        })
+    });
+    group.bench_function("span_enabled_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                let _span = rememberr_obs::span(black_box("bench.live_span"));
+            }
+            // Keep the completed-span buffer from growing across samples.
+            let _ = rememberr_obs::take_spans();
+        })
+    });
+    rememberr_obs::disable();
+    rememberr_obs::reset();
+    group.finish();
+}
+
+fn bench_instrumented_extraction(c: &mut Criterion) {
+    let corpus = paper_corpus();
+    let (largest, design) = corpus
+        .rendered
+        .iter()
+        .map(|r| (r.text.as_str(), r.design))
+        .max_by_key(|(t, _)| t.len())
+        .expect("non-empty corpus");
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    rememberr_obs::disable();
+    rememberr_obs::reset();
+    group.bench_function("extract_document_obs_disabled", |b| {
+        b.iter(|| black_box(extract_document(design, largest).expect("extracts")))
+    });
+    rememberr_obs::enable();
+    group.bench_function("extract_document_obs_enabled", |b| {
+        b.iter(|| {
+            let out = black_box(extract_document(design, largest).expect("extracts"));
+            let _ = rememberr_obs::take_spans();
+            out
+        })
+    });
+    rememberr_obs::disable();
+    rememberr_obs::reset();
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_noop_primitives,
+    bench_instrumented_extraction
+);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use rememberr::{assign_keys, load, save, Database, DedupStrategy, DbEntry};
+use rememberr::{assign_keys, load, save, Database, DbEntry, DedupStrategy};
 use rememberr_bench::{paper_corpus, paper_db, small_corpus};
 use rememberr_classify::{classify_database, classify_erratum, FourEyesConfig, HumanOracle, Rules};
 use rememberr_docgen::{render_document, CorpusSpec, SyntheticCorpus};

@@ -21,6 +21,16 @@ pub enum Decision {
     NeedsHuman,
 }
 
+/// Counter name for a strong-rule hit, split by category kind so the
+/// metrics snapshot shows where the rule library fires.
+fn rule_fired_counter(category: Category) -> &'static str {
+    match category {
+        Category::Trigger(_) => "classify.trigger_rules_fired",
+        Category::Context(_) => "classify.context_rules_fired",
+        Category::Effect(_) => "classify.effect_rules_fired",
+    }
+}
+
 /// Classifies one erratum-category pair.
 pub fn decide(rules: &Rules, text: &PreparedText, category: Category) -> Decision {
     if rules.strong_for(category).any(|p| p.is_match(text)) {
@@ -65,6 +75,7 @@ pub fn classify_erratum(rules: &Rules, erratum: &Erratum) -> AutoClassification 
         match decide(rules, &text, category) {
             Decision::AutoRelevant => {
                 auto_decided += 1;
+                rememberr_obs::count(rule_fired_counter(category), 1);
                 let snippet = rules
                     .strong_for(category)
                     .find_map(|p| {

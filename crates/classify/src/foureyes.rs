@@ -136,10 +136,8 @@ pub fn run_four_eyes_over(
     let mut rng = SimRng::seed_from_u64(config.seed);
 
     // Group items per erratum, preserving the population order.
-    let mut errata: Vec<(ErratumId, Vec<&HumanItem>)> = errata_in_order
-        .iter()
-        .map(|&id| (id, Vec::new()))
-        .collect();
+    let mut errata: Vec<(ErratumId, Vec<&HumanItem>)> =
+        errata_in_order.iter().map(|&id| (id, Vec::new())).collect();
     let mut index: std::collections::HashMap<ErratumId, usize> = errata
         .iter()
         .enumerate()

@@ -164,7 +164,10 @@ const STRONG_RULES: &[(&str, &str)] = &[
     ("Eff_FLT_fid", "fault identifier"),
     ("Eff_FLT_fid", "faults in the wrong order"),
     ("Eff_FLT_fid", "wrong order"),
-    ("Eff_CRP_prf", "performance counter|counters|monitoring|events"),
+    (
+        "Eff_CRP_prf",
+        "performance counter|counters|monitoring|events",
+    ),
     ("Eff_CRP_prf", "over-count"),
     ("Eff_CRP_reg", "saved incorrectly"),
     ("Eff_CRP_reg", "corrupt a model specific"),
@@ -232,8 +235,8 @@ impl Rules {
                     let category: Category = code
                         .parse()
                         .unwrap_or_else(|_| panic!("bad category code {code}"));
-                    let pattern = Pattern::parse(src)
-                        .unwrap_or_else(|e| panic!("bad pattern {src:?}: {e}"));
+                    let pattern =
+                        Pattern::parse(src).unwrap_or_else(|e| panic!("bad pattern {src:?}: {e}"));
                     (category, pattern)
                 })
                 .collect()
@@ -324,15 +327,36 @@ mod tests {
     fn rules_match_representative_phrases() {
         let rules = Rules::standard();
         let cases: &[(Category, &str)] = &[
-            (Category::Trigger(Trigger::PowerStateChange), "the core resumes from the C6 power state"),
-            (Category::Trigger(Trigger::Throttling), "thermal throttling engages"),
-            (Category::Trigger(Trigger::ConfigRegister), "software writes a specific value to a configuration register"),
+            (
+                Category::Trigger(Trigger::PowerStateChange),
+                "the core resumes from the C6 power state",
+            ),
+            (
+                Category::Trigger(Trigger::Throttling),
+                "thermal throttling engages",
+            ),
+            (
+                Category::Trigger(Trigger::ConfigRegister),
+                "software writes a specific value to a configuration register",
+            ),
             (Category::Trigger(Trigger::Reset), "a warm reset is applied"),
-            (Category::Context(Context::VmGuest), "while running as a virtual machine guest"),
-            (Category::Context(Context::RealMode), "in real-address mode or virtual-8086 mode"),
+            (
+                Category::Context(Context::VmGuest),
+                "while running as a virtual machine guest",
+            ),
+            (
+                Category::Context(Context::RealMode),
+                "in real-address mode or virtual-8086 mode",
+            ),
             (Category::Effect(Effect::Hang), "the processor may hang"),
-            (Category::Effect(Effect::MsrValue), "the value may be saved incorrectly"),
-            (Category::Effect(Effect::MachineCheck), "may signal a machine check exception"),
+            (
+                Category::Effect(Effect::MsrValue),
+                "the value may be saved incorrectly",
+            ),
+            (
+                Category::Effect(Effect::MachineCheck),
+                "may signal a machine check exception",
+            ),
         ];
         for (category, text) in cases {
             let hit = rules.strong_for(*category).any(|p| p.matches(text));

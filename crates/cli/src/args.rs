@@ -26,6 +26,8 @@ pub enum ArgsError {
     MissingValue(String),
     /// A bare positional argument where an option was expected.
     UnexpectedPositional(String),
+    /// An option name no command understands.
+    UnknownOption(String),
 }
 
 impl fmt::Display for ArgsError {
@@ -34,6 +36,7 @@ impl fmt::Display for ArgsError {
             ArgsError::MissingCommand => write!(f, "missing subcommand"),
             ArgsError::MissingValue(k) => write!(f, "option --{k} needs a value"),
             ArgsError::UnexpectedPositional(a) => write!(f, "unexpected argument {a:?}"),
+            ArgsError::UnknownOption(k) => write!(f, "unknown option --{k}"),
         }
     }
 }
@@ -44,7 +47,28 @@ impl std::error::Error for ArgsError {}
 const MULTI_OPTIONS: &[&str] = &["trigger", "context", "effect"];
 
 /// Option names that are boolean flags (no value).
-const FLAG_OPTIONS: &[&str] = &["unique", "no-humans", "help"];
+const FLAG_OPTIONS: &[&str] = &["unique", "no-humans", "help", "trace"];
+
+/// Single-valued option names understood by at least one command.
+/// Anything else is rejected up front, so a typo fails with usage text
+/// instead of being silently ignored.
+const VALUE_OPTIONS: &[&str] = &[
+    "out",
+    "scale",
+    "seed",
+    "docs",
+    "db",
+    "truth",
+    "csv-dir",
+    "vendor",
+    "min-triggers",
+    "limit",
+    "steps",
+    "triggers",
+    "effects",
+    "metrics",
+    "metrics-out",
+];
 
 /// Parses a raw argument list (without the program name).
 ///
@@ -74,6 +98,9 @@ where
         if FLAG_OPTIONS.contains(&key.as_str()) {
             parsed.flags.push(key);
         } else {
+            if !MULTI_OPTIONS.contains(&key.as_str()) && !VALUE_OPTIONS.contains(&key.as_str()) {
+                return Err(ArgsError::UnknownOption(key));
+            }
             let value = iter
                 .next()
                 .filter(|v| !v.starts_with("--"))
@@ -99,11 +126,7 @@ impl ParsedArgs {
     /// # Errors
     ///
     /// Returns a message naming the option when parsing fails.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        key: &str,
-        default: T,
-    ) -> Result<T, String> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
             Some(text) => text
@@ -130,8 +153,14 @@ mod tests {
     #[test]
     fn parses_subcommand_options_and_flags() {
         let parsed = parse([
-            "query", "--db", "db.jsonl", "--trigger", "Trg_EXT_rst", "--trigger",
-            "Trg_EXT_pci", "--unique",
+            "query",
+            "--db",
+            "db.jsonl",
+            "--trigger",
+            "Trg_EXT_rst",
+            "--trigger",
+            "Trg_EXT_pci",
+            "--unique",
         ])
         .unwrap();
         assert_eq!(parsed.command, "query");
@@ -156,6 +185,27 @@ mod tests {
             parse(["query", "--db", "--unique"]),
             Err(ArgsError::MissingValue("db".into()))
         );
+        assert_eq!(
+            parse(["query", "--frobnicate", "9"]),
+            Err(ArgsError::UnknownOption("frobnicate".into()))
+        );
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let parsed = parse([
+            "extract",
+            "--docs",
+            "d",
+            "--out",
+            "o",
+            "--metrics-out",
+            "m",
+            "--trace",
+        ])
+        .unwrap();
+        assert!(parsed.has_flag("trace"));
+        assert_eq!(parsed.get("metrics-out"), Some("m"));
     }
 
     #[test]

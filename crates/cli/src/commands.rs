@@ -27,10 +27,7 @@ pub const TRUTH_FILE: &str = "truth.json";
 /// Writes the 28 rendered documents (one `.txt` per design, named by the
 /// document reference) plus `truth.json` into `DIR`.
 pub fn cmd_generate(args: &ParsedArgs) -> CmdResult {
-    let out: PathBuf = args
-        .get("out")
-        .ok_or("generate needs --out DIR")?
-        .into();
+    let out: PathBuf = args.get("out").ok_or("generate needs --out DIR")?.into();
     let scale: f64 = args.get_parsed("scale", 1.0)?;
     let mut spec = if (scale - 1.0).abs() < f64::EPSILON {
         CorpusSpec::paper()
@@ -62,7 +59,10 @@ pub fn cmd_generate(args: &ParsedArgs) -> CmdResult {
 /// saves the database.
 pub fn cmd_extract(args: &ParsedArgs) -> CmdResult {
     let docs_dir: PathBuf = args.get("docs").ok_or("extract needs --docs DIR")?.into();
-    let out: PathBuf = args.get("out").ok_or("extract needs --out DB.jsonl")?.into();
+    let out: PathBuf = args
+        .get("out")
+        .ok_or("extract needs --out DB.jsonl")?
+        .into();
 
     let mut documents = Vec::new();
     let mut defect_total = 0usize;
@@ -71,10 +71,9 @@ pub fn cmd_extract(args: &ParsedArgs) -> CmdResult {
         if !path.exists() {
             continue;
         }
-        let text =
-            fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let extracted = extract_document(design, &text)
-            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let extracted =
+            extract_document(design, &text).map_err(|e| format!("{}: {e}", path.display()))?;
         defect_total += extracted.report.total();
         documents.push(extracted.document);
     }
@@ -97,7 +96,10 @@ pub fn cmd_extract(args: &ParsedArgs) -> CmdResult {
 /// `rememberr classify --db DB.jsonl --out DB2.jsonl [--truth truth.json] [--no-humans]`
 pub fn cmd_classify(args: &ParsedArgs) -> CmdResult {
     let mut db = read_db(args)?;
-    let out: PathBuf = args.get("out").ok_or("classify needs --out DB.jsonl")?.into();
+    let out: PathBuf = args
+        .get("out")
+        .ok_or("classify needs --out DB.jsonl")?
+        .into();
 
     let truth = match args.get("truth") {
         Some(path) if !args.has_flag("no-humans") => {
@@ -110,7 +112,12 @@ pub fn cmd_classify(args: &ParsedArgs) -> CmdResult {
         Some(t) => HumanOracle::Simulated(t),
         None => HumanOracle::None,
     };
-    let run = classify_database(&mut db, &Rules::standard(), oracle, &FourEyesConfig::default());
+    let run = classify_database(
+        &mut db,
+        &Rules::standard(),
+        oracle,
+        &FourEyesConfig::default(),
+    );
     write_db(&db, &out)?;
     Ok(format!(
         "classified {} unique errata: {} of {} decisions auto-resolved ({:.1}% reduction); saved {}",
@@ -226,6 +233,57 @@ pub fn cmd_export(args: &ParsedArgs) -> CmdResult {
     ))
 }
 
+/// `rememberr stats --metrics m.json` or `rememberr stats --db DB.jsonl`
+///
+/// Pretty-prints a metrics snapshot: either one previously written with
+/// `--metrics-out`, or a fresh one collected while loading a database.
+pub fn cmd_stats(args: &ParsedArgs) -> CmdResult {
+    let snapshot = match (args.get("metrics"), args.get("db")) {
+        (Some(path), _) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            serde_json::from_str::<rememberr_obs::Snapshot>(&text)
+                .map_err(|e| format!("{path}: not a metrics snapshot: {e}"))?
+        }
+        (None, Some(_)) => {
+            rememberr_obs::enable();
+            let db = read_db(args)?;
+            let snap = rememberr_obs::snapshot();
+            drop(db);
+            snap
+        }
+        (None, None) => return Err("stats needs --metrics FILE or --db DB.jsonl".into()),
+    };
+    Ok(render_snapshot(&snapshot))
+}
+
+/// Renders a metrics snapshot as aligned text.
+fn render_snapshot(snap: &rememberr_obs::Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("counters (deterministic):\n");
+    if snap.counters.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    let width = snap.counters.keys().map(String::len).max().unwrap_or(0);
+    for (name, value) in &snap.counters {
+        out.push_str(&format!("  {name:width$}  {value}\n"));
+    }
+    out.push_str("\ndurations (wall clock):\n");
+    if snap.durations.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    let width = snap.durations.keys().map(String::len).max().unwrap_or(0);
+    for (name, h) in &snap.durations {
+        out.push_str(&format!(
+            "  {name:width$}  n={} total={:.3}ms mean={:.3}ms max={:.3}ms\n",
+            h.count,
+            h.total_ns as f64 / 1e6,
+            h.mean_ns() as f64 / 1e6,
+            h.max_ns as f64 / 1e6,
+        ));
+    }
+    out
+}
+
 /// Usage text.
 pub fn usage() -> String {
     "rememberr — the RemembERR errata pipeline
@@ -240,12 +298,20 @@ USAGE:
                      [--unique] [--limit N]
   rememberr campaign --db DB.jsonl [--steps N] [--triggers N] [--effects N]
   rememberr export   --db DB.jsonl --out records.txt
+  rememberr stats    --metrics m.json | --db DB.jsonl
+
+OBSERVABILITY (any command):
+  --trace              print the span tree of the run to stderr
+  --metrics-out FILE   write a JSON metrics snapshot after the run
 "
     .to_string()
 }
 
 /// Dispatches a parsed command.
 pub fn run(args: &ParsedArgs) -> CmdResult {
+    // Root span of the trace tree: every stage span nests under the
+    // command that triggered it.
+    let _span = rememberr_obs::span_with_detail("cli.run", args.command.clone());
     match args.command.as_str() {
         "generate" => cmd_generate(args),
         "extract" => cmd_extract(args),
@@ -254,6 +320,7 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
         "query" => cmd_query(args),
         "campaign" => cmd_campaign(args),
         "export" => cmd_export(args),
+        "stats" => cmd_stats(args),
         "help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -336,10 +403,8 @@ mod tests {
         .unwrap();
         assert!(out.contains("auto-resolved"));
 
-        let out = cmd_report(
-            &parse(["report", "--db", db2_path.to_str().unwrap()]).unwrap(),
-        )
-        .unwrap();
+        let out =
+            cmd_report(&parse(["report", "--db", db2_path.to_str().unwrap()]).unwrap()).unwrap();
         assert!(out.contains("Fig. 12"));
         assert!(out.contains("Observations O1-O13"));
 
@@ -397,16 +462,16 @@ mod tests {
         assert!(cmd_generate(&parse(["generate"]).unwrap())
             .unwrap_err()
             .contains("--out"));
-        assert!(cmd_extract(&parse(["extract", "--docs", "/nonexistent", "--out", "x"]).unwrap())
-            .unwrap_err()
-            .contains("no documents"));
+        assert!(
+            cmd_extract(&parse(["extract", "--docs", "/nonexistent", "--out", "x"]).unwrap())
+                .unwrap_err()
+                .contains("no documents")
+        );
         assert!(run(&parse(["frobnicate"]).unwrap())
             .unwrap_err()
             .contains("unknown command"));
         assert!(run(&parse(["help"]).unwrap()).unwrap().contains("USAGE"));
-        assert!(
-            cmd_query(&parse(["query", "--db", "x", "--vendor", "via"]).unwrap()).is_err()
-        );
+        assert!(cmd_query(&parse(["query", "--db", "x", "--vendor", "via"]).unwrap()).is_err());
     }
 
     #[test]
@@ -415,7 +480,14 @@ mod tests {
         let dir = tmp("q-corpus");
         let db_path = tmp("q-db.jsonl");
         cmd_generate(
-            &parse(["generate", "--out", dir.to_str().unwrap(), "--scale", "0.02"]).unwrap(),
+            &parse([
+                "generate",
+                "--out",
+                dir.to_str().unwrap(),
+                "--scale",
+                "0.02",
+            ])
+            .unwrap(),
         )
         .unwrap();
         cmd_extract(

@@ -7,7 +7,17 @@
 //! rememberr-cli report   --db db.jsonl --csv-dir figures/
 //! rememberr-cli query    --db db.jsonl --trigger Trg_CFG_wrg --unique
 //! rememberr-cli campaign --db db.jsonl --steps 10
+//! rememberr-cli stats    --metrics m.json
 //! ```
+//!
+//! Every command accepts two observability options:
+//!
+//! * `--trace` prints the hierarchical span tree of the run to stderr;
+//! * `--metrics-out FILE` writes a JSON metrics snapshot (deterministic
+//!   event counters plus wall-clock duration histograms) after the run.
+//!
+//! Collection is disabled unless one of the two is given, so normal runs
+//! pay only a relaxed atomic load per instrumentation point.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,7 +36,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match commands::run(&parsed) {
+
+    let trace = parsed.has_flag("trace");
+    let metrics_out = parsed.get("metrics-out").map(str::to_string);
+    if trace || metrics_out.is_some() {
+        rememberr_obs::enable();
+    }
+
+    let result = commands::run(&parsed);
+
+    // Emit observability output even when the command failed: a partial
+    // trace of a failing run is exactly when it is most wanted.
+    if trace {
+        eprint!("{}", rememberr_obs::render_trace());
+    }
+    if let Some(path) = metrics_out {
+        let json = rememberr_obs::snapshot().to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match result {
         Ok(output) => {
             println!("{output}");
             ExitCode::SUCCESS

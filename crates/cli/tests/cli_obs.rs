@@ -1,0 +1,176 @@
+//! End-to-end tests of the installed binary: argument rejection, the
+//! generate/extract round trip, and the observability surface
+//! (`--metrics-out`, `--trace`, `stats`).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rememberr-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rememberr-obs-{}-{name}", std::process::id()))
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn unknown_flag_prints_usage_and_fails() {
+    let out = run(&["query", "--frobnicate", "9"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown option --frobnicate"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn missing_subcommand_prints_usage_and_fails() {
+    let out = run(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn pipeline_roundtrip_with_metrics_and_trace() {
+    let dir = tmp("corpus");
+    let db = tmp("db.jsonl");
+    let db2 = tmp("db2.jsonl");
+    let m_extract = tmp("extract-metrics.json");
+    let m_extract2 = tmp("extract-metrics-2.json");
+    let m_classify = tmp("classify-metrics.json");
+
+    // Generate a small corpus.
+    let out = run(&[
+        "generate",
+        "--out",
+        dir.to_str().unwrap(),
+        "--scale",
+        "0.05",
+        "--seed",
+        "7",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("wrote 28 documents"));
+
+    // Extract with metrics and trace enabled.
+    let out = run(&[
+        "extract",
+        "--docs",
+        dir.to_str().unwrap(),
+        "--out",
+        db.to_str().unwrap(),
+        "--metrics-out",
+        m_extract.to_str().unwrap(),
+        "--trace",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("unique bugs"));
+    // The span tree went to stderr.
+    let trace = stderr(&out);
+    assert!(trace.contains("cli.run [extract]"), "{trace}");
+    assert!(trace.contains("extract.document"), "{trace}");
+    assert!(trace.contains("dedup.assign_keys"), "{trace}");
+
+    // The snapshot is valid JSON that serde_json re-parses, with the
+    // documented counters present.
+    let text = fs::read_to_string(&m_extract).unwrap();
+    let snap: rememberr_obs::Snapshot = serde_json::from_str(&text).expect("valid snapshot");
+    for counter in [
+        "extract.pages_scanned",
+        "extract.defect_double_added",
+        "extract.defect_unmentioned",
+        "extract.defect_name_collisions",
+        "extract.defect_missing_fields",
+        "extract.defect_duplicate_fields",
+        "extract.defect_inconsistent_msrs",
+        "extract.defect_intra_doc_duplicates",
+        "extract.defect_status_summary_mismatches",
+        "dedup.comparisons_made",
+        "dedup.entries_keyed",
+        "persist.records_written",
+        "persist.bytes_written",
+    ] {
+        assert!(snap.counters.contains_key(counter), "missing {counter}");
+    }
+    assert!(snap.counters["extract.pages_scanned"] > 0);
+    assert!(snap.counters["dedup.entries_keyed"] > 0);
+
+    // A second identically seeded run produces a byte-identical counter
+    // section (durations are wall clock and may differ).
+    let out = run(&[
+        "extract",
+        "--docs",
+        dir.to_str().unwrap(),
+        "--out",
+        db.to_str().unwrap(),
+        "--metrics-out",
+        m_extract2.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text2 = fs::read_to_string(&m_extract2).unwrap();
+    let snap2: rememberr_obs::Snapshot = serde_json::from_str(&text2).unwrap();
+    assert_eq!(snap.counters_json(), snap2.counters_json());
+
+    // Classify with metrics: the relevance-filter reduction is counted.
+    let out = run(&[
+        "classify",
+        "--db",
+        db.to_str().unwrap(),
+        "--out",
+        db2.to_str().unwrap(),
+        "--truth",
+        dir.join("truth.json").to_str().unwrap(),
+        "--metrics-out",
+        m_classify.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let snap: rememberr_obs::Snapshot =
+        serde_json::from_str(&fs::read_to_string(&m_classify).unwrap()).unwrap();
+    for counter in [
+        "classify.raw_decisions",
+        "classify.relevance_eliminations",
+        "classify.human_decisions",
+        "classify.four_eyes_steps",
+    ] {
+        assert!(snap.counters.contains_key(counter), "missing {counter}");
+    }
+    let raw = snap.counters["classify.raw_decisions"];
+    let auto = snap.counters["classify.relevance_eliminations"];
+    let human = snap.counters["classify.human_decisions"];
+    assert_eq!(auto + human, raw);
+    assert!(auto > human, "filter should eliminate most decisions");
+
+    // `stats` renders a snapshot file as text.
+    let out = run(&["stats", "--metrics", m_classify.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("counters (deterministic):"), "{text}");
+    assert!(text.contains("classify.relevance_eliminations"), "{text}");
+    assert!(text.contains("durations (wall clock):"), "{text}");
+
+    let _ = fs::remove_dir_all(&dir);
+    for f in [&db, &db2, &m_extract, &m_extract2, &m_classify] {
+        let _ = fs::remove_file(f);
+    }
+}
+
+#[test]
+fn metrics_disabled_runs_emit_nothing() {
+    // Without --trace/--metrics-out the run must not print a trace.
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    assert!(stderr(&out).is_empty());
+    assert!(stdout(&out).contains("USAGE"));
+}

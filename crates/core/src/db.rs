@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use rememberr_model::{
-    Annotation, Design, ErrataDocument, ErratumId, UniqueKey, Vendor,
-};
+use rememberr_model::{Annotation, Design, ErrataDocument, ErratumId, UniqueKey, Vendor};
 use serde::{Deserialize, Serialize};
 
 use crate::dedup::{assign_keys, DedupStats, DedupStrategy};

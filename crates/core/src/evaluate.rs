@@ -91,9 +91,9 @@ fn truth_keys(db: &Database, truth: &GroundTruth) -> Vec<(usize, UniqueKey)> {
         }
     }
     for (i, entry) in db.entries().iter().enumerate() {
-        match id_claims.get(&entry.id()).map(Vec::as_slice) {
-            Some([key]) => out.push((i, *key)),
-            _ => {} // unknown id or collision: skip
+        // Unknown ids and collisions are skipped.
+        if let Some([key]) = id_claims.get(&entry.id()).map(Vec::as_slice) {
+            out.push((i, *key));
         }
     }
     out
@@ -202,7 +202,11 @@ mod tests {
 
     #[test]
     fn prf_math() {
-        let prf = Prf { tp: 8, fp: 2, fn_: 4 };
+        let prf = Prf {
+            tp: 8,
+            fp: 2,
+            fn_: 4,
+        };
         assert!((prf.precision() - 0.8).abs() < 1e-12);
         assert!((prf.recall() - 8.0 / 12.0).abs() < 1e-12);
         assert!(prf.f1() > 0.7 && prf.f1() < 0.8);
@@ -225,8 +229,7 @@ mod tests {
     #[test]
     fn exact_title_only_misses_near_duplicates() {
         let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.3));
-        let db =
-            Database::from_documents_with(&corpus.structured, DedupStrategy::ExactTitleOnly);
+        let db = Database::from_documents_with(&corpus.structured, DedupStrategy::ExactTitleOnly);
         let eval = evaluate_dedup(&db, &corpus.truth);
         // The ablation baseline over-splits: near-duplicate listings stay
         // apart, giving missed pairs and extra clusters.

@@ -79,7 +79,12 @@ struct Header {
 /// # Errors
 ///
 /// Returns [`PersistError`] on I/O or encoding failure.
-pub fn save<W: Write>(db: &Database, mut writer: W) -> Result<(), PersistError> {
+pub fn save<W: Write>(db: &Database, writer: W) -> Result<(), PersistError> {
+    let _span = rememberr_obs::span!("persist.save");
+    let mut writer = CountingWriter {
+        inner: writer,
+        bytes: 0,
+    };
     let header = Header {
         format: FORMAT.to_string(),
         version: VERSION,
@@ -92,7 +97,28 @@ pub fn save<W: Write>(db: &Database, mut writer: W) -> Result<(), PersistError> 
         serde_json::to_writer(&mut writer, entry)?;
         writer.write_all(b"\n")?;
     }
+    rememberr_obs::count("persist.records_written", db.len() as u64);
+    rememberr_obs::count("persist.bytes_written", writer.bytes);
     Ok(())
+}
+
+/// Counts the bytes flowing through an inner writer so persistence volume
+/// shows up in the metrics registry.
+struct CountingWriter<W> {
+    inner: W,
+    bytes: u64,
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let written = self.inner.write(buf)?;
+        self.bytes += written as u64;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 /// Reads a database previously written by [`save`]. Pass `&mut reader` to
@@ -103,6 +129,8 @@ pub fn save<W: Write>(db: &Database, mut writer: W) -> Result<(), PersistError> 
 /// Returns [`PersistError`] on I/O failure, malformed records, or an
 /// unsupported version.
 pub fn load<R: Read>(reader: R) -> Result<Database, PersistError> {
+    let _span = rememberr_obs::span!("persist.load");
+    let mut bytes = 0u64;
     let mut lines = BufReader::new(reader).lines();
     let header_line = lines
         .next()
@@ -115,14 +143,18 @@ pub fn load<R: Read>(reader: R) -> Result<Database, PersistError> {
     if header.version != VERSION {
         return Err(PersistError::UnsupportedVersion(header.version));
     }
+    bytes += header_line.len() as u64 + 1;
     let mut entries = Vec::with_capacity(header.entries);
     for line in lines {
         let line = line?;
+        bytes += line.len() as u64 + 1;
         if line.trim().is_empty() {
             continue;
         }
         entries.push(serde_json::from_str::<DbEntry>(&line)?);
     }
+    rememberr_obs::count("persist.records_read", entries.len() as u64);
+    rememberr_obs::count("persist.bytes_read", bytes);
     let mut db = Database::new();
     db.extend(entries);
     db.restore_dedup_stats(header.dedup);
@@ -189,10 +221,7 @@ mod tests {
         save(&db, &mut buf).unwrap();
         let mut text = String::from_utf8(buf).unwrap();
         text.push_str("{\"broken\": true}\n");
-        assert!(matches!(
-            load(text.as_bytes()),
-            Err(PersistError::Json(_))
-        ));
+        assert!(matches!(load(text.as_bytes()), Err(PersistError::Json(_))));
     }
 
     #[test]

@@ -204,8 +204,7 @@ impl Query {
         {
             return false;
         }
-        if !self.effect_any.is_empty()
-            && !self.effect_any.iter().any(|&e| ann.effects.contains(e))
+        if !self.effect_any.is_empty() && !self.effect_any.iter().any(|&e| ann.effects.contains(e))
         {
             return false;
         }
@@ -304,10 +303,7 @@ mod tests {
                 .count(&db),
             0
         );
-        assert_eq!(
-            Query::new().trigger_class(TriggerClass::Ext).count(&db),
-            1
-        );
+        assert_eq!(Query::new().trigger_class(TriggerClass::Ext).count(&db), 1);
     }
 
     #[test]

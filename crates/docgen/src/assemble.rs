@@ -9,9 +9,7 @@
 
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use rememberr_model::{
-    Date, Design, ErrataDocument, Erratum, ErratumId, Revision, Vendor,
-};
+use rememberr_model::{Date, Design, ErrataDocument, Erratum, ErratumId, Revision, Vendor};
 
 use crate::bugpool::{build_pool, BugSeed};
 use crate::rng::CorpusRng;
@@ -168,7 +166,9 @@ pub fn assemble(spec: &CorpusSpec) -> AssembledCorpus {
         for occ_list in occs.iter() {
             for occ in occ_list {
                 if occ.design.index() == design_idx {
-                    revisions[(occ.revision - 1) as usize].added.push(occ.number);
+                    revisions[(occ.revision - 1) as usize]
+                        .added
+                        .push(occ.number);
                 }
             }
         }
@@ -197,14 +197,16 @@ pub fn assemble(spec: &CorpusSpec) -> AssembledCorpus {
             let pick = (u64::from(bug.key.value()) ^ spec.seed) as usize % steppings.len();
             // Fixes land in a late stepping: skip the initial one.
             let stepping = steppings[pick.max(1).min(steppings.len() - 1)];
-            documents[occ.design.index()].fix_summary.push(rememberr_model::FixedIn {
-                number: occ.number,
-                stepping: stepping.to_string(),
-            });
+            documents[occ.design.index()]
+                .fix_summary
+                .push(rememberr_model::FixedIn {
+                    number: occ.number,
+                    stepping: stepping.to_string(),
+                });
         }
     }
     for doc in &mut documents {
-        doc.fix_summary.sort_by(|a, b| a.number.cmp(&b.number));
+        doc.fix_summary.sort_by_key(|f| f.number);
         doc.fix_summary.dedup();
     }
 
@@ -702,7 +704,11 @@ mod tests {
     #[test]
     fn intel_numbers_are_sequential_except_collision() {
         let corpus = small();
-        for doc in corpus.documents.iter().filter(|d| d.design.vendor() == Vendor::Intel) {
+        for doc in corpus
+            .documents
+            .iter()
+            .filter(|d| d.design.vendor() == Vendor::Intel)
+        {
             let mut numbers: Vec<u32> = doc.errata.iter().map(|e| e.id.number).collect();
             numbers.sort_unstable();
             let collisions = corpus
@@ -752,8 +758,7 @@ mod tests {
         assert_eq!(d.wrong_msr.len(), spec.defects.wrong_msr_errata);
         let pairs = ledger_intra_doc_pairs(&corpus.truth.bugs);
         assert_eq!(pairs.len(), spec.defects.intra_doc_duplicate_pairs);
-        let docs: std::collections::BTreeSet<Design> =
-            pairs.iter().map(|(d, _, _)| *d).collect();
+        let docs: std::collections::BTreeSet<Design> = pairs.iter().map(|(d, _, _)| *d).collect();
         assert_eq!(docs.len(), spec.defects.intra_doc_duplicate_docs);
     }
 
@@ -776,10 +781,7 @@ mod tests {
         let corpus = assemble(&CorpusSpec::paper());
         for id in &corpus.truth.defects.unmentioned {
             let doc = &corpus.documents[id.design.index()];
-            assert!(doc
-                .revisions
-                .iter()
-                .all(|r| !r.added.contains(&id.number)));
+            assert!(doc.revisions.iter().all(|r| !r.added.contains(&id.number)));
             assert!(doc.erratum(id.number).is_some());
         }
     }
@@ -844,11 +846,7 @@ mod tests {
                 .flat_map(|r| r.added.iter().copied())
                 .collect();
             for e in &doc.errata {
-                let is_unmentioned = corpus
-                    .truth
-                    .defects
-                    .unmentioned
-                    .contains(&e.id);
+                let is_unmentioned = corpus.truth.defects.unmentioned.contains(&e.id);
                 let is_collision_victim = corpus
                     .truth
                     .defects
@@ -980,10 +978,12 @@ mod title_tests {
                 let title = doc
                     .errata
                     .iter()
-                    .find(|e| e.id.number == occ.number && {
-                        // Name collisions give two errata the same number;
-                        // match on any of them.
-                        true
+                    .find(|e| {
+                        e.id.number == occ.number && {
+                            // Name collisions give two errata the same number;
+                            // match on any of them.
+                            true
+                        }
                     })
                     .map(|e| e.title.clone())
                     .expect("listing exists");

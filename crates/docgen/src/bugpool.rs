@@ -207,10 +207,7 @@ pub fn build_pool(spec: &CorpusSpec, rng: &mut CorpusRng) -> Vec<BugSeed> {
 
     // ---- AMD bugs ----------------------------------------------------------
     let amd_docs: Vec<Design> = Design::amd().collect();
-    let amd_weights: Vec<f64> = amd_docs
-        .iter()
-        .map(|d| spec.document_weight(*d))
-        .collect();
+    let amd_weights: Vec<f64> = amd_docs.iter().map(|d| spec.document_weight(*d)).collect();
     for _ in 0..spec.amd_unique {
         let intro = weighted_choice(&amd_docs, &amd_weights, rng);
         let mut affected = vec![intro];

@@ -53,12 +53,18 @@ impl SyntheticCorpus {
     ///
     /// Returns the first violated spec invariant.
     pub fn try_generate(spec: &CorpusSpec) -> Result<Self, crate::spec::SpecError> {
+        let _span = rememberr_obs::span!("docgen.generate");
         spec.validate()?;
         let AssembledCorpus { documents, truth } = assemble(spec);
-        let rendered = documents
+        let rendered: Vec<_> = documents
             .iter()
             .map(|doc| render_document(doc, &truth.defects))
             .collect();
+        rememberr_obs::count("docgen.documents_rendered", rendered.len() as u64);
+        rememberr_obs::count(
+            "docgen.errata_planted",
+            documents.iter().map(|d| d.len() as u64).sum(),
+        );
         Ok(Self {
             spec: spec.clone(),
             rendered,
@@ -106,7 +112,11 @@ mod tests {
             assert_eq!(rendered.design, structured.design);
         }
         assert_eq!(
-            corpus.structured.iter().map(|d| d.design).collect::<Vec<_>>(),
+            corpus
+                .structured
+                .iter()
+                .map(|d| d.design)
+                .collect::<Vec<_>>(),
             Design::ALL.to_vec()
         );
     }

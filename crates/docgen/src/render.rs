@@ -92,15 +92,9 @@ fn content_lines(doc: &ErrataDocument, ledger: &DefectLedger) -> Vec<String> {
         } else if rev.added.is_empty() {
             "Editorial changes only.".to_string()
         } else if rev.added.len() == 1 {
-            format!(
-                "Added erratum {}.",
-                compress_ranges(design, &rev.added)
-            )
+            format!("Added erratum {}.", compress_ranges(design, &rev.added))
         } else {
-            format!(
-                "Added errata {}.",
-                compress_ranges(design, &rev.added)
-            )
+            format!("Added errata {}.", compress_ranges(design, &rev.added))
         };
         // Wrap long descriptions onto continuation lines indented past the
         // date column (as camelot-extracted tables look).
@@ -157,11 +151,7 @@ fn content_lines(doc: &ErrataDocument, ledger: &DefectLedger) -> Vec<String> {
                 if i == 0 {
                     lines.push(format!("{first_prefix}{piece}"));
                 } else {
-                    lines.push(format!(
-                        "{:width$}{piece}",
-                        "",
-                        width = first_prefix.len()
-                    ));
+                    lines.push(format!("{:width$}{piece}", "", width = first_prefix.len()));
                 }
             }
         };
@@ -293,7 +283,9 @@ mod tests {
         let first = &doc.fix_summary[0];
         let form = rememberr_model::ErratumId::new(doc.design, first.number).document_form();
         assert!(
-            rendered.text.contains(&format!("{form:<10} {}", first.stepping)),
+            rendered
+                .text
+                .contains(&format!("{form:<10} {}", first.stepping)),
             "summary row for {form} missing"
         );
     }

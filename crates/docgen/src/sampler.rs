@@ -19,8 +19,8 @@
 
 use rand::Rng;
 use rememberr_model::{
-    Annotation, Context, Design, Effect, FixStatus, MsrName, MsrRef, Trigger, TriggerClass,
-    Vendor, WorkaroundCategory,
+    Annotation, Context, Design, Effect, FixStatus, MsrName, MsrRef, Trigger, TriggerClass, Vendor,
+    WorkaroundCategory,
 };
 use serde::{Deserialize, Serialize};
 
@@ -86,10 +86,10 @@ pub(crate) fn trigger_weight(vendor: Vendor, t: Trigger) -> f64 {
         (Vendor::Intel, Tracing) => 1.4,
         (Vendor::Intel, CustomFeature) => 1.3,
         (Vendor::Intel, Usb) => 1.2,
-        (Vendor::Intel, SystemBus) => 0.7,
+        (Vendor::Intel, SystemBus) => 0.45,
         (Vendor::Amd, Tracing) => 0.4,
         (Vendor::Amd, CustomFeature) => 0.65,
-        (Vendor::Amd, SystemBus) => 1.8,
+        (Vendor::Amd, SystemBus) => 2.6,
         (Vendor::Amd, Iommu) => 1.5,
         (Vendor::Amd, Dram) => 1.25,
         (Vendor::Amd, Pcie) => 0.9,
@@ -510,9 +510,7 @@ mod tests {
                 .any(|d| matches!(d, Design::Intel11 | Design::Intel12))
             {
                 assert!(
-                    !p.annotation
-                        .trigger_classes()
-                        .contains(&TriggerClass::Mbr),
+                    !p.annotation.trigger_classes().contains(&TriggerClass::Mbr),
                     "MBR trigger listed in a gen 11/12 document"
                 );
             }

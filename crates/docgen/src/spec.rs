@@ -143,8 +143,14 @@ impl Default for CorpusSpec {
             backward_latent_fraction: 0.15,
             discovery_mean_days: 400.0,
             snapshot: Date::new(2022, 8, 1).expect("valid snapshot date"),
-            complex_conditions_rate: VendorPair { intel: 0.087, amd: 0.208 },
-            no_workaround_rate: VendorPair { intel: 0.359, amd: 0.289 },
+            complex_conditions_rate: VendorPair {
+                intel: 0.087,
+                amd: 0.208,
+            },
+            no_workaround_rate: VendorPair {
+                intel: 0.359,
+                amd: 0.289,
+            },
             trigger_count_weights: vec![0.51, 0.30, 0.13, 0.045, 0.015],
             no_clear_trigger_rate: 0.144,
             defects: DefectSpec::default(),
@@ -182,7 +188,10 @@ impl std::fmt::Display for SpecError {
                 write!(f, "{field} must lie in [0, 1]")
             }
             SpecError::BadTriggerWeights => {
-                write!(f, "trigger_count_weights must be non-empty with a positive sum")
+                write!(
+                    f,
+                    "trigger_count_weights must be non-empty with a positive sum"
+                )
             }
             SpecError::DefectsExceedCorpus => {
                 write!(f, "defect counts exceed the corpus population")
@@ -220,8 +229,14 @@ impl CorpusSpec {
             ("amd_propagation", self.amd_propagation),
             ("backward_latent_fraction", self.backward_latent_fraction),
             ("no_clear_trigger_rate", self.no_clear_trigger_rate),
-            ("complex_conditions_rate.intel", self.complex_conditions_rate.intel),
-            ("complex_conditions_rate.amd", self.complex_conditions_rate.amd),
+            (
+                "complex_conditions_rate.intel",
+                self.complex_conditions_rate.intel,
+            ),
+            (
+                "complex_conditions_rate.amd",
+                self.complex_conditions_rate.amd,
+            ),
             ("no_workaround_rate.intel", self.no_workaround_rate.intel),
             ("no_workaround_rate.amd", self.no_workaround_rate.amd),
         ] {
@@ -237,7 +252,9 @@ impl CorpusSpec {
         }
         let d = &self.defects;
         let budget = self.intel_total / 4;
-        if d.double_added_errata + d.unmentioned_errata + d.field_defect_errata
+        if d.double_added_errata
+            + d.unmentioned_errata
+            + d.field_defect_errata
             + d.intra_doc_duplicate_pairs
             > budget.max(40)
         {

@@ -75,10 +75,7 @@ fn trigger_title(t: Trigger, pick: usize) -> &'static str {
             "Nested Page Table Translation",
             "A Guest Page Table Walk Using Nested Paging",
         ],
-        Flush => &[
-            "Flushing a Cache Line",
-            "A TLB Flush Operation",
-        ],
+        Flush => &["Flushing a Cache Line", "A TLB Flush Operation"],
         Speculative => &[
             "A Speculative Memory Access",
             "Speculative Execution Past a Branch",
@@ -88,14 +85,8 @@ fn trigger_title(t: Trigger, pick: usize) -> &'static str {
             "Counter Overflow Conditions",
         ],
         TimerEvent => &["An APIC Timer Event", "Expiration of a Timer"],
-        MachineCheck => &[
-            "A Machine Check Exception",
-            "Machine Check Events",
-        ],
-        IllegalInstruction => &[
-            "Executing an Undefined Opcode",
-            "An Illegal Instruction",
-        ],
+        MachineCheck => &["A Machine Check Exception", "Machine Check Events"],
+        IllegalInstruction => &["Executing an Undefined Opcode", "An Illegal Instruction"],
         ResumeFromSmm => &[
             "Resuming From System Management Mode",
             "An RSM Instruction Leaving SMM",
@@ -104,10 +95,7 @@ fn trigger_title(t: Trigger, pick: usize) -> &'static str {
             "A VM Entry or VM Exit",
             "Transitions Between Hypervisor and Guest",
         ],
-        Paging => &[
-            "Changing Paging Modes",
-            "Enabling or Disabling Paging",
-        ],
+        Paging => &["Changing Paging Modes", "Enabling or Disabling Paging"],
         VmConfig => &[
             "Certain Virtual Machine Control Settings",
             "An Unusual VMCS Configuration",
@@ -130,15 +118,9 @@ fn trigger_title(t: Trigger, pick: usize) -> &'static str {
         Reset => &["A Warm Reset", "Cold Reset Sequences"],
         Pcie => &["Ongoing PCIe Traffic", "A PCIe Link Retraining"],
         Usb => &["USB Device Activity", "A USB Controller Transfer"],
-        Dram => &[
-            "A Specific DRAM Configuration",
-            "DDR Training Sequences",
-        ],
+        Dram => &["A Specific DRAM Configuration", "DDR Training Sequences"],
         Iommu => &["An Access Through the IOMMU", "IOMMU Translations"],
-        SystemBus => &[
-            "Heavy System Bus Activity",
-            "HyperTransport Link Traffic",
-        ],
+        SystemBus => &["Heavy System Bus Activity", "HyperTransport Link Traffic"],
         FloatingPoint => &[
             "Execution of x87 Floating-Point Instructions",
             "An FSAVE or FNSAVE Instruction",
@@ -148,14 +130,8 @@ fn trigger_title(t: Trigger, pick: usize) -> &'static str {
             "Single-Stepping With Debug Registers",
         ],
         Cpuid => &["A CPUID Request", "Reading Design Identification"],
-        Monitoring => &[
-            "A MONITOR and MWAIT Sequence",
-            "MWAIT Instruction Usage",
-        ],
-        Tracing => &[
-            "Processor Trace Packet Generation",
-            "Branch Trace Messages",
-        ],
+        Monitoring => &["A MONITOR and MWAIT Sequence", "MWAIT Instruction Usage"],
+        Tracing => &["Processor Trace Packet Generation", "Branch Trace Messages"],
         CustomFeature => &[
             "Certain SSE Instruction Sequences",
             "Using Extended Vector Instructions",
@@ -315,10 +291,7 @@ fn trigger_clause(t: Trigger, pick: usize) -> &'static str {
 fn context_clause(c: Context, pick: usize) -> &'static str {
     use Context::*;
     let bank: &[&str] = match c {
-        Boot => &[
-            "during BIOS initialization",
-            "while the system is booting",
-        ],
+        Boot => &["during BIOS initialization", "while the system is booting"],
         VmGuest => &[
             "while running as a virtual machine guest",
             "inside a virtualized guest environment",
@@ -327,14 +300,8 @@ fn context_clause(c: Context, pick: usize) -> &'static str {
             "in real-address mode or virtual-8086 mode",
             "while operating in real mode",
         ],
-        Hypervisor => &[
-            "while operating as a hypervisor",
-            "in VMX root operation",
-        ],
-        Smm => &[
-            "while in System Management Mode",
-            "during SMM execution",
-        ],
+        Hypervisor => &["while operating as a hypervisor", "in VMX root operation"],
+        Smm => &["while in System Management Mode", "during SMM execution"],
         SecurityFeature => &[
             "when a security feature such as SGX or SVM is enabled",
             "with memory encryption enabled",
@@ -396,10 +363,7 @@ fn effect_title(e: Effect, pick: usize) -> &'static str {
             "Corrupt a Model Specific Register",
             "Leave a Stale MSR Value",
         ],
-        Pcie => &[
-            "Degrade the PCIe Link",
-            "Cause PCIe Transaction Errors",
-        ],
+        Pcie => &["Degrade the PCIe Link", "Cause PCIe Transaction Errors"],
         Usb => &["Drop USB Transactions", "Cause USB Device Errors"],
         Multimedia => &[
             "Corrupt Audio or Graphics Output",
@@ -425,9 +389,18 @@ fn effect_implication(e: Effect, pick: usize) -> &'static str {
             "This may result in unpredictable system behavior.",
             "Software relying on this behavior may not operate properly.",
         ],
-        Hang => &["System may hang or reset.", "The processor may become unresponsive."],
-        Crash => &["The system may crash unexpectedly.", "An unexpected shutdown may occur."],
-        BootFailure => &["The system may fail to boot.", "A boot failure may be observed."],
+        Hang => &[
+            "System may hang or reset.",
+            "The processor may become unresponsive.",
+        ],
+        Crash => &[
+            "The system may crash unexpectedly.",
+            "An unexpected shutdown may occur.",
+        ],
+        BootFailure => &[
+            "The system may fail to boot.",
+            "A boot failure may be observed.",
+        ],
         MachineCheck => &[
             "A machine check exception may be signaled.",
             "An unexpected machine check may occur.",
@@ -623,8 +596,7 @@ pub fn render_bug_text(
     for msr in &ann.msrs {
         description.push_str(&format!(
             " The {} register (MSR {:#X}) may contain an incorrect value.",
-            msr.name,
-            msr.claimed_address
+            msr.name, msr.claimed_address
         ));
     }
 
@@ -693,7 +665,9 @@ pub fn complex_conditions_marker() -> &'static str {
 /// Vendor-flavored boilerplate appended to some implications.
 pub fn vendor_boilerplate(vendor: Vendor) -> &'static str {
     match vendor {
-        Vendor::Intel => "Intel has not observed this erratum in any commercially available software.",
+        Vendor::Intel => {
+            "Intel has not observed this erratum in any commercially available software."
+        }
         Vendor::Amd => "AMD is not aware of customer impact at this time.",
     }
 }
@@ -773,7 +747,10 @@ mod tests {
                 text.concrete_contexts.len(),
                 profile.annotation.contexts.len()
             );
-            assert_eq!(text.concrete_effects.len(), profile.annotation.effects.len());
+            assert_eq!(
+                text.concrete_effects.len(),
+                profile.annotation.effects.len()
+            );
         }
     }
 

@@ -34,7 +34,7 @@ impl RevisionSchedule {
     /// revisions spread out — the concavity of Figure 2.
     pub fn build(spec: &CorpusSpec, design: Design) -> Self {
         let release = design.release_date();
-        let end_days = (spec.snapshot - release).min(MAINTENANCE_DAYS).max(0);
+        let end_days = (spec.snapshot - release).clamp(0, MAINTENANCE_DAYS);
         let n = spec.revision_count(design).max(1) as usize;
         let mut dates = Vec::with_capacity(n);
         if n == 1 {
@@ -73,7 +73,10 @@ impl RevisionSchedule {
             }
         }
         let last = self.dates.len();
-        ((last) as u32, *self.dates.last().expect("non-empty schedule"))
+        (
+            (last) as u32,
+            *self.dates.last().expect("non-empty schedule"),
+        )
     }
 }
 
@@ -138,7 +141,11 @@ pub fn raw_disclosure_dates(
                 }
                 candidate
             };
-            let date = if date > spec.snapshot { spec.snapshot } else { date };
+            let date = if date > spec.snapshot {
+                spec.snapshot
+            } else {
+                date
+            };
             (design, date)
         })
         .collect()
@@ -252,7 +259,11 @@ mod tests {
         for _ in 0..trials {
             let affected = [Design::Intel6, Design::Intel7_8];
             let dates = raw_disclosure_dates(&spec, &affected, Design::Intel6, &mut rng);
-            let later = dates.iter().find(|(d, _)| *d == Design::Intel7_8).unwrap().1;
+            let later = dates
+                .iter()
+                .find(|(d, _)| *d == Design::Intel7_8)
+                .unwrap()
+                .1;
             if later == Design::Intel7_8.release_date() {
                 at_release += 1;
             }

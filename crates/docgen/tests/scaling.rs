@@ -60,7 +60,6 @@ fn different_seeds_give_different_corpora_with_same_totals() {
 fn ground_truth_serializes_and_restores() {
     let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.03));
     let json = serde_json::to_string(&corpus.truth).expect("serializes");
-    let back: rememberr_docgen::GroundTruth =
-        serde_json::from_str(&json).expect("deserializes");
+    let back: rememberr_docgen::GroundTruth = serde_json::from_str(&json).expect("deserializes");
     assert_eq!(back, corpus.truth);
 }

@@ -17,7 +17,7 @@
 //! [`rememberr_textkit::reflow`].
 
 use rememberr_model::{Design, Erratum, ErratumId};
-use rememberr_textkit::reflow;
+use rememberr_textkit::{reflow_counted, ReflowStats};
 
 use crate::error::ExtractError;
 
@@ -51,7 +51,9 @@ impl Block {
                 line: self.id_form.clone(),
             }
         })?;
-        let title = reflow(&self.title_lines);
+        let mut repairs = ReflowStats::default();
+        let (title, title_stats) = reflow_counted(&self.title_lines);
+        repairs.merge(title_stats);
 
         let mut duplicated = Vec::new();
         let mut take = |label: &'static str| -> String {
@@ -61,7 +63,9 @@ impl Block {
                     if found.is_some() {
                         duplicated.push(label);
                     } else {
-                        found = Some(reflow(lines));
+                        let (text, stats) = reflow_counted(lines);
+                        repairs.merge(stats);
+                        found = Some(text);
                     }
                 }
             }
@@ -71,6 +75,9 @@ impl Block {
         let implications = take("Implication");
         let workaround = take("Workaround");
         let status = take("Status");
+
+        rememberr_obs::count("extract.lines_repaired", repairs.lines_joined as u64);
+        rememberr_obs::count("extract.dehyphenations", repairs.dehyphenations as u64);
 
         let mut missing = Vec::new();
         for (label, value) in [
@@ -135,7 +142,10 @@ pub fn parse_errata(design: Design, lines: &[String]) -> Result<Vec<ParsedErratu
         if line.starts_with(char::is_whitespace) {
             // Continuation of the current accumulation.
             let Some(b) = block.as_mut() else {
-                continue; // stray indentation outside a block
+                // Stray indentation outside a block: dropped rather than
+                // failing the document (a recovery, so it is counted).
+                rememberr_obs::count("extract.recovered_errors", 1);
+                continue;
             };
             let trimmed = line.trim_start().to_string();
             if in_title {
@@ -236,13 +246,14 @@ mod tests {
     fn missing_fields_are_reported() {
         let parsed = parse_errata(
             Design::Amd19h,
-            &lines(&["1361  Title here", "Problem: Text.", "Status: No fix planned."]),
+            &lines(&[
+                "1361  Title here",
+                "Problem: Text.",
+                "Status: No fix planned.",
+            ]),
         )
         .unwrap();
-        assert_eq!(
-            parsed[0].missing_fields,
-            vec!["Implication", "Workaround"]
-        );
+        assert_eq!(parsed[0].missing_fields, vec!["Implication", "Workaround"]);
     }
 
     #[test]

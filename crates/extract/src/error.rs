@@ -16,6 +16,13 @@ pub enum ExtractError {
         /// The offending line.
         line: String,
     },
+    /// A revision-table row carries an unparsable date (distinguished from
+    /// [`ExtractError::BadRevisionRow`] so date-format drift in source
+    /// documents is diagnosable separately from structural damage).
+    BadDate {
+        /// The offending line.
+        line: String,
+    },
     /// An erratum header line could not be parsed.
     BadErratumHeader {
         /// The offending line.
@@ -40,6 +47,9 @@ impl fmt::Display for ExtractError {
             ExtractError::BadRevisionRow { line } => {
                 write!(f, "cannot parse revision row {line:?}")
             }
+            ExtractError::BadDate { line } => {
+                write!(f, "cannot parse revision date in {line:?}")
+            }
             ExtractError::BadErratumHeader { line } => {
                 write!(f, "cannot parse erratum header {line:?}")
             }
@@ -60,6 +70,7 @@ mod tests {
         let errors = [
             ExtractError::MissingSection { heading: "X" },
             ExtractError::BadRevisionRow { line: "??".into() },
+            ExtractError::BadDate { line: "??".into() },
             ExtractError::BadErratumHeader { line: "??".into() },
             ExtractError::MalformedPage { page: 3 },
             ExtractError::EmptyDocument,

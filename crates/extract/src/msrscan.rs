@@ -18,10 +18,7 @@ pub fn scan_msr_refs(text: &str) -> Vec<MsrRef> {
     while let Some(rel) = text[search_from..].find("(MSR 0x") {
         let num_start = search_from + rel + "(MSR 0x".len();
         let rest = &text[num_start..];
-        let hex_len = rest
-            .bytes()
-            .take_while(|b| b.is_ascii_hexdigit())
-            .count();
+        let hex_len = rest.bytes().take_while(|b| b.is_ascii_hexdigit()).count();
         let claimed = u32::from_str_radix(&rest[..hex_len], 16).ok();
         // Look backwards for the register name: the token before " register".
         let before = &text[..search_from + rel];

@@ -36,11 +36,16 @@ pub struct ExtractedDocument {
 /// revision logs) never fail extraction — they are repaired where possible
 /// and reported in [`ExtractedDocument::report`].
 pub fn extract_document(design: Design, text: &str) -> Result<ExtractedDocument, ExtractError> {
+    let _span = rememberr_obs::span!("extract.document", "{design}");
     let lines = depaginate(text)?;
     // The summary table is optional in older streams: fall back to parsing
     // the revision table up to the errata heading.
     let has_summary = lines.iter().any(|l| l.trim() == SUMMARY_HEADING);
-    let rev_end = if has_summary { SUMMARY_HEADING } else { ERRATA_HEADING };
+    let rev_end = if has_summary {
+        SUMMARY_HEADING
+    } else {
+        ERRATA_HEADING
+    };
     let rev_lines = section_between(&lines, REVISION_HEADING, rev_end)?;
     let revisions = parse_revision_table(design, rev_lines)?;
     let fix_summary = if has_summary {
@@ -59,6 +64,7 @@ pub fn extract_document(design: Design, text: &str) -> Result<ExtractedDocument,
         fix_summary,
     };
     let report = detect_defects(&document, &parsed);
+    report.count_metrics();
     Ok(ExtractedDocument { document, report })
 }
 
@@ -76,6 +82,7 @@ pub fn extract_corpus<'a, I>(
 where
     I: IntoIterator<Item = (Design, &'a str)>,
 {
+    let _span = rememberr_obs::span!("extract.corpus");
     let mut documents = Vec::new();
     let mut report = ExtractionReport::default();
     for (design, text) in rendered {
@@ -140,7 +147,11 @@ mod tests {
                 .zip(&structured.revisions)
             {
                 assert_eq!(got.number, want.number);
-                assert_eq!(got.added, want.added, "{} rev {}", rendered.design, want.number);
+                assert_eq!(
+                    got.added, want.added,
+                    "{} rev {}",
+                    rendered.design, want.number
+                );
                 // Dates survive at month resolution.
                 assert_eq!(got.date.year(), want.date.year());
                 assert_eq!(got.date.month(), want.date.month());
@@ -152,13 +163,8 @@ mod tests {
     fn defect_detection_matches_injected_counts_on_paper_corpus() {
         let spec = CorpusSpec::paper();
         let corpus = SyntheticCorpus::generate(&spec);
-        let (_, report) = extract_corpus(
-            corpus
-                .rendered
-                .iter()
-                .map(|r| (r.design, r.text.as_str())),
-        )
-        .unwrap();
+        let (_, report) =
+            extract_corpus(corpus.rendered.iter().map(|r| (r.design, r.text.as_str()))).unwrap();
 
         let injected = &corpus.truth.defects;
         // Every injected double-add is detected.
@@ -205,7 +211,11 @@ mod tests {
     #[test]
     fn garbage_input_fails_cleanly() {
         assert!(extract_document(Design::Intel6, "").is_err());
-        assert!(extract_document(Design::Intel6, "just\nsome\nrandom\ntext\nwithout\nstructure\n").is_err());
+        assert!(extract_document(
+            Design::Intel6,
+            "just\nsome\nrandom\ntext\nwithout\nstructure\n"
+        )
+        .is_err());
     }
 
     #[test]

@@ -55,6 +55,42 @@ impl ExtractionReport {
             + self.status_summary_mismatches.len()
     }
 
+    /// Publishes one counter per defect class to the metrics registry
+    /// (`extract.defect_*`). Called once per extracted document, so corpus
+    /// counters are the sums over all documents.
+    pub fn count_metrics(&self) {
+        use rememberr_obs::count;
+        count(
+            "extract.defect_double_added",
+            self.double_added.len() as u64,
+        );
+        count("extract.defect_unmentioned", self.unmentioned.len() as u64);
+        count(
+            "extract.defect_name_collisions",
+            self.name_collisions.len() as u64,
+        );
+        count(
+            "extract.defect_missing_fields",
+            self.missing_fields.len() as u64,
+        );
+        count(
+            "extract.defect_duplicate_fields",
+            self.duplicate_fields.len() as u64,
+        );
+        count(
+            "extract.defect_inconsistent_msrs",
+            self.inconsistent_msrs.len() as u64,
+        );
+        count(
+            "extract.defect_intra_doc_duplicates",
+            self.intra_doc_duplicates.len() as u64,
+        );
+        count(
+            "extract.defect_status_summary_mismatches",
+            self.status_summary_mismatches.len() as u64,
+        );
+    }
+
     /// Merges another report (for corpus-level aggregation).
     pub fn merge(&mut self, other: ExtractionReport) {
         self.double_added.extend(other.double_added);
@@ -112,10 +148,14 @@ pub fn detect_defects(doc: &ErrataDocument, parsed: &[ParsedErratum]) -> Extract
     // Field defects from the parser.
     for p in parsed {
         for &label in &p.missing_fields {
-            report.missing_fields.push((p.erratum.id, label.to_string()));
+            report
+                .missing_fields
+                .push((p.erratum.id, label.to_string()));
         }
         for &label in &p.duplicated_fields {
-            report.duplicate_fields.push((p.erratum.id, label.to_string()));
+            report
+                .duplicate_fields
+                .push((p.erratum.id, label.to_string()));
         }
     }
 
@@ -251,7 +291,12 @@ mod tests {
                 erratum(Design::Intel6, 3, "USB Transfers May Drop Packets", "b1"),
                 erratum(Design::Intel6, 7, "USB Transfers Might Drop Packets", "b2"),
                 // Merely related titles with different bodies: not flagged.
-                erratum(Design::Intel6, 5, "USB Controllers May Reset Unexpectedly", "b3"),
+                erratum(
+                    Design::Intel6,
+                    5,
+                    "USB Controllers May Reset Unexpectedly",
+                    "b3",
+                ),
             ],
             vec![rev(1, vec![1, 3, 5, 7, 9])],
         );
@@ -299,8 +344,13 @@ mod tests {
         let unfixed = erratum(Design::Intel6, 2, "Totally different", "d2");
         let mut doc = doc_with(vec![fixed, unfixed], vec![rev(1, vec![1, 2])]);
         // Consistent: erratum 1 fixed with a table row.
-        doc.fix_summary = vec![FixedIn { number: 1, stepping: "C0".into() }];
-        assert!(detect_defects(&doc, &[]).status_summary_mismatches.is_empty());
+        doc.fix_summary = vec![FixedIn {
+            number: 1,
+            stepping: "C0".into(),
+        }];
+        assert!(detect_defects(&doc, &[])
+            .status_summary_mismatches
+            .is_empty());
         // Missing row for a fixed status.
         doc.fix_summary.clear();
         assert_eq!(
@@ -309,8 +359,14 @@ mod tests {
         );
         // Spurious row for an unfixed status.
         doc.fix_summary = vec![
-            FixedIn { number: 1, stepping: "C0".into() },
-            FixedIn { number: 2, stepping: "C0".into() },
+            FixedIn {
+                number: 1,
+                stepping: "C0".into(),
+            },
+            FixedIn {
+                number: 2,
+                stepping: "C0".into(),
+            },
         ];
         assert_eq!(
             detect_defects(&doc, &[]).status_summary_mismatches,

@@ -14,7 +14,7 @@
 //! to work with; parsed dates use the mid-month convention.
 
 use rememberr_model::{Date, Design, Revision};
-use rememberr_textkit::reflow;
+use rememberr_textkit::reflow_counted;
 
 use crate::error::ExtractError;
 
@@ -56,7 +56,8 @@ pub fn parse_revision_table(
         let rev: u32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let month = it.next().ok_or_else(bad)?;
         let year = it.next().ok_or_else(bad)?;
-        let date = Date::parse_document_style(&format!("{month} {year}")).map_err(|_| bad())?;
+        let date = Date::parse_document_style(&format!("{month} {year}"))
+            .map_err(|_| ExtractError::BadDate { line: line.clone() })?;
         let first: String = it.collect::<Vec<_>>().join(" ");
         rows.push((rev, date, vec![first]));
     }
@@ -66,7 +67,9 @@ pub fn parse_revision_table(
         .map(|(number, date, desc_lines)| {
             // Reflow undoes the renderer's hyphenation before number
             // extraction (long added-lists wrap mid-range).
-            let desc = reflow(&desc_lines);
+            let (desc, repairs) = reflow_counted(&desc_lines);
+            rememberr_obs::count("extract.lines_repaired", repairs.lines_joined as u64);
+            rememberr_obs::count("extract.dehyphenations", repairs.dehyphenations as u64);
             Revision {
                 number,
                 date,
@@ -107,9 +110,17 @@ pub fn parse_added_numbers(design: Design, description: &str) -> Vec<u32> {
         if let Some((a, b)) = split_range(design, &compact) {
             if a <= b && b - a < 10_000 {
                 numbers.extend(a..=b);
+            } else {
+                // Corrupted range endpoint: skipped instead of allocating
+                // gigabytes — a counted recovery.
+                rememberr_obs::count("extract.recovered_errors", 1);
             }
         } else if let Some(n) = parse_id_form(design, &compact) {
             numbers.push(n);
+        } else {
+            // An identifier that fits neither the range nor the single-id
+            // document form (e.g. a wrong-design prefix): skipped.
+            rememberr_obs::count("extract.recovered_errors", 1);
         }
     }
     numbers.sort_unstable();

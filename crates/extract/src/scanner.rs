@@ -17,6 +17,7 @@ use crate::error::ExtractError;
 /// the two header lines and two footer lines.
 pub fn depaginate(text: &str) -> Result<Vec<String>, ExtractError> {
     let mut content = Vec::new();
+    let mut pages = 0u64;
     for (page_no, page) in text.split('\u{c}').enumerate() {
         let mut lines: Vec<&str> = page.split('\n').collect();
         // A trailing newline produces one empty trailing element.
@@ -29,7 +30,9 @@ pub fn depaginate(text: &str) -> Result<Vec<String>, ExtractError> {
         // Header: reference line + blank. Footer: blank + "Page N of M".
         let body = &lines[2..lines.len() - 2];
         content.extend(body.iter().map(|l| l.to_string()));
+        pages += 1;
     }
+    rememberr_obs::count("extract.pages_scanned", pages);
     Ok(content)
 }
 

@@ -23,6 +23,9 @@ pub fn parse_fix_summary(design: Design, lines: &[String]) -> Vec<FixedIn> {
         }
         let mut it = line.split_whitespace();
         let (Some(id_form), Some(stepping)) = (it.next(), it.next()) else {
+            // A row too short to carry an id and a stepping: skipped, since
+            // the table is advisory — but counted as a recovery.
+            rememberr_obs::count("extract.recovered_errors", 1);
             continue;
         };
         if let Ok(id) = ErratumId::parse_document_form(design, id_form) {
@@ -30,6 +33,8 @@ pub fn parse_fix_summary(design: Design, lines: &[String]) -> Vec<FixedIn> {
                 number: id.number,
                 stepping: stepping.to_string(),
             });
+        } else {
+            rememberr_obs::count("extract.recovered_errors", 1);
         }
     }
     out

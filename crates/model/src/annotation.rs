@@ -175,8 +175,14 @@ mod tests {
     fn fdp_annotation() -> Annotation {
         // Table VII: the paper's machine-readable rendering of erratum ADL001.
         Annotation::builder()
-            .trigger(Trigger::FloatingPoint, "Execution of FSAVE, FNSAVE, FSTENV, or FNSTENV")
-            .context(Context::RealMode, "Operating in real-address mode or virtual-8086 mode")
+            .trigger(
+                Trigger::FloatingPoint,
+                "Execution of FSAVE, FNSAVE, FSTENV, or FNSTENV",
+            )
+            .context(
+                Context::RealMode,
+                "Operating in real-address mode or virtual-8086 mode",
+            )
             .effect(Effect::Unpredictable, "Incorrect value for the x87 FDP")
             .build()
     }

@@ -12,7 +12,7 @@ use std::fmt;
 use std::marker::PhantomData;
 
 use serde::de::DeserializeOwned;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::taxonomy::{Context, Effect, Trigger};
 
@@ -337,14 +337,14 @@ impl<T: Catalog + fmt::Display> fmt::Display for CategorySet<T> {
 }
 
 impl<T: Catalog + Serialize> Serialize for CategorySet<T> {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.collect_seq(self.iter())
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|member| member.to_value()).collect())
     }
 }
 
-impl<'de, T: Catalog + DeserializeOwned> Deserialize<'de> for CategorySet<T> {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let members = Vec::<T>::deserialize(deserializer)?;
+impl<T: Catalog + DeserializeOwned> Deserialize for CategorySet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let members = Vec::<T>::from_value(value)?;
         Ok(members.into_iter().collect())
     }
 }

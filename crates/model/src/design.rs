@@ -125,34 +125,286 @@ const fn d(y: i32, m: u8, day: u8) -> Date {
 
 /// Table III, plus approximate release dates for the timeline model.
 const DESIGN_INFOS: [DesignInfo; 28] = [
-    DesignInfo { design: Design::Intel1D, vendor: Vendor::Intel, segment: Segment::Desktop, span: (1, 1), models: (0, 0xFF), reference: "320836-037US", label: "Core 1 (D)", release: d(2008, 11, 17) },
-    DesignInfo { design: Design::Intel1M, vendor: Vendor::Intel, segment: Segment::Mobile, span: (1, 1), models: (0, 0xFF), reference: "322814-024US", label: "Core 1 (M)", release: d(2009, 9, 8) },
-    DesignInfo { design: Design::Intel2D, vendor: Vendor::Intel, segment: Segment::Desktop, span: (2, 2), models: (0, 0xFF), reference: "324643-037US", label: "Core 2 (D)", release: d(2011, 1, 9) },
-    DesignInfo { design: Design::Intel2M, vendor: Vendor::Intel, segment: Segment::Mobile, span: (2, 2), models: (0, 0xFF), reference: "324827-034US", label: "Core 2 (M)", release: d(2011, 2, 20) },
-    DesignInfo { design: Design::Intel3D, vendor: Vendor::Intel, segment: Segment::Desktop, span: (3, 3), models: (0, 0xFF), reference: "326766-022US", label: "Core 3 (D)", release: d(2012, 4, 29) },
-    DesignInfo { design: Design::Intel3M, vendor: Vendor::Intel, segment: Segment::Mobile, span: (3, 3), models: (0, 0xFF), reference: "326770-022US", label: "Core 3 (M)", release: d(2012, 6, 3) },
-    DesignInfo { design: Design::Intel4D, vendor: Vendor::Intel, segment: Segment::Desktop, span: (4, 4), models: (0, 0xFF), reference: "328899-039US", label: "Core 4 (D)", release: d(2013, 6, 2) },
-    DesignInfo { design: Design::Intel4M, vendor: Vendor::Intel, segment: Segment::Mobile, span: (4, 4), models: (0, 0xFF), reference: "328903-038US", label: "Core 4 (M)", release: d(2013, 6, 2) },
-    DesignInfo { design: Design::Intel5D, vendor: Vendor::Intel, segment: Segment::Desktop, span: (5, 5), models: (0, 0xFF), reference: "332381-023US", label: "Core 5 (D)", release: d(2015, 6, 1) },
-    DesignInfo { design: Design::Intel5M, vendor: Vendor::Intel, segment: Segment::Mobile, span: (5, 5), models: (0, 0xFF), reference: "330836-031US", label: "Core 5 (M)", release: d(2015, 1, 5) },
-    DesignInfo { design: Design::Intel6, vendor: Vendor::Intel, segment: Segment::Unified, span: (6, 6), models: (0, 0xFF), reference: "332689-028US", label: "Core 6", release: d(2015, 8, 5) },
-    DesignInfo { design: Design::Intel7_8, vendor: Vendor::Intel, segment: Segment::Unified, span: (7, 8), models: (0, 0xFF), reference: "334663-013US", label: "Core 7/8", release: d(2017, 1, 3) },
-    DesignInfo { design: Design::Intel8_9, vendor: Vendor::Intel, segment: Segment::Unified, span: (8, 9), models: (0, 0xFF), reference: "337346-002US", label: "Core 8/9", release: d(2018, 10, 8) },
-    DesignInfo { design: Design::Intel10, vendor: Vendor::Intel, segment: Segment::Unified, span: (10, 10), models: (0, 0xFF), reference: "615213-010US", label: "Core 10", release: d(2019, 9, 1) },
-    DesignInfo { design: Design::Intel11, vendor: Vendor::Intel, segment: Segment::Unified, span: (11, 11), models: (0, 0xFF), reference: "634808-008US", label: "Core 11", release: d(2020, 9, 17) },
-    DesignInfo { design: Design::Intel12, vendor: Vendor::Intel, segment: Segment::Unified, span: (12, 12), models: (0, 0xFF), reference: "682436-004US", label: "Core 12", release: d(2021, 11, 4) },
-    DesignInfo { design: Design::Amd10h, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x10, 0x10), models: (0x00, 0x0F), reference: "41322-3.84", label: "Fam. 10h 00-0F", release: d(2007, 11, 19) },
-    DesignInfo { design: Design::Amd11h, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x11, 0x11), models: (0x00, 0x0F), reference: "41788-3.00", label: "Fam. 11h 00-0F", release: d(2008, 6, 4) },
-    DesignInfo { design: Design::Amd12h, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x12, 0x12), models: (0x00, 0x0F), reference: "44739-3.10", label: "Fam. 12h 00-0F", release: d(2011, 6, 14) },
-    DesignInfo { design: Design::Amd14h, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x14, 0x14), models: (0x00, 0x0F), reference: "47534-3.18", label: "Fam. 14h 00-0F", release: d(2011, 1, 4) },
-    DesignInfo { design: Design::Amd15h00, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x15, 0x15), models: (0x00, 0x0F), reference: "48063-3.24", label: "Fam. 15h 00-0F", release: d(2011, 10, 12) },
-    DesignInfo { design: Design::Amd15h10, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x15, 0x15), models: (0x10, 0x1F), reference: "48931-3.08", label: "Fam. 15h 10-1F", release: d(2012, 10, 2) },
-    DesignInfo { design: Design::Amd15h30, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x15, 0x15), models: (0x30, 0x3F), reference: "51603-1.06", label: "Fam. 15h 30-3F", release: d(2014, 1, 14) },
-    DesignInfo { design: Design::Amd15h70, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x15, 0x15), models: (0x70, 0x7F), reference: "55370-3.00", label: "Fam. 15h 70-7F", release: d(2016, 6, 1) },
-    DesignInfo { design: Design::Amd16h, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x16, 0x16), models: (0x00, 0x0F), reference: "51810-3.06", label: "Fam. 16h 00-0F", release: d(2013, 5, 23) },
-    DesignInfo { design: Design::Amd17h00, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x17, 0x17), models: (0x00, 0x0F), reference: "55449-1.12", label: "Fam. 17h 00-0F", release: d(2017, 3, 2) },
-    DesignInfo { design: Design::Amd17h30, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x17, 0x17), models: (0x30, 0x3F), reference: "56323-0.78", label: "Fam. 17h 30-3F", release: d(2019, 8, 7) },
-    DesignInfo { design: Design::Amd19h, vendor: Vendor::Amd, segment: Segment::Unified, span: (0x19, 0x19), models: (0x00, 0x0F), reference: "56683-1.04", label: "Fam. 19h 00-0F", release: d(2020, 11, 5) },
+    DesignInfo {
+        design: Design::Intel1D,
+        vendor: Vendor::Intel,
+        segment: Segment::Desktop,
+        span: (1, 1),
+        models: (0, 0xFF),
+        reference: "320836-037US",
+        label: "Core 1 (D)",
+        release: d(2008, 11, 17),
+    },
+    DesignInfo {
+        design: Design::Intel1M,
+        vendor: Vendor::Intel,
+        segment: Segment::Mobile,
+        span: (1, 1),
+        models: (0, 0xFF),
+        reference: "322814-024US",
+        label: "Core 1 (M)",
+        release: d(2009, 9, 8),
+    },
+    DesignInfo {
+        design: Design::Intel2D,
+        vendor: Vendor::Intel,
+        segment: Segment::Desktop,
+        span: (2, 2),
+        models: (0, 0xFF),
+        reference: "324643-037US",
+        label: "Core 2 (D)",
+        release: d(2011, 1, 9),
+    },
+    DesignInfo {
+        design: Design::Intel2M,
+        vendor: Vendor::Intel,
+        segment: Segment::Mobile,
+        span: (2, 2),
+        models: (0, 0xFF),
+        reference: "324827-034US",
+        label: "Core 2 (M)",
+        release: d(2011, 2, 20),
+    },
+    DesignInfo {
+        design: Design::Intel3D,
+        vendor: Vendor::Intel,
+        segment: Segment::Desktop,
+        span: (3, 3),
+        models: (0, 0xFF),
+        reference: "326766-022US",
+        label: "Core 3 (D)",
+        release: d(2012, 4, 29),
+    },
+    DesignInfo {
+        design: Design::Intel3M,
+        vendor: Vendor::Intel,
+        segment: Segment::Mobile,
+        span: (3, 3),
+        models: (0, 0xFF),
+        reference: "326770-022US",
+        label: "Core 3 (M)",
+        release: d(2012, 6, 3),
+    },
+    DesignInfo {
+        design: Design::Intel4D,
+        vendor: Vendor::Intel,
+        segment: Segment::Desktop,
+        span: (4, 4),
+        models: (0, 0xFF),
+        reference: "328899-039US",
+        label: "Core 4 (D)",
+        release: d(2013, 6, 2),
+    },
+    DesignInfo {
+        design: Design::Intel4M,
+        vendor: Vendor::Intel,
+        segment: Segment::Mobile,
+        span: (4, 4),
+        models: (0, 0xFF),
+        reference: "328903-038US",
+        label: "Core 4 (M)",
+        release: d(2013, 6, 2),
+    },
+    DesignInfo {
+        design: Design::Intel5D,
+        vendor: Vendor::Intel,
+        segment: Segment::Desktop,
+        span: (5, 5),
+        models: (0, 0xFF),
+        reference: "332381-023US",
+        label: "Core 5 (D)",
+        release: d(2015, 6, 1),
+    },
+    DesignInfo {
+        design: Design::Intel5M,
+        vendor: Vendor::Intel,
+        segment: Segment::Mobile,
+        span: (5, 5),
+        models: (0, 0xFF),
+        reference: "330836-031US",
+        label: "Core 5 (M)",
+        release: d(2015, 1, 5),
+    },
+    DesignInfo {
+        design: Design::Intel6,
+        vendor: Vendor::Intel,
+        segment: Segment::Unified,
+        span: (6, 6),
+        models: (0, 0xFF),
+        reference: "332689-028US",
+        label: "Core 6",
+        release: d(2015, 8, 5),
+    },
+    DesignInfo {
+        design: Design::Intel7_8,
+        vendor: Vendor::Intel,
+        segment: Segment::Unified,
+        span: (7, 8),
+        models: (0, 0xFF),
+        reference: "334663-013US",
+        label: "Core 7/8",
+        release: d(2017, 1, 3),
+    },
+    DesignInfo {
+        design: Design::Intel8_9,
+        vendor: Vendor::Intel,
+        segment: Segment::Unified,
+        span: (8, 9),
+        models: (0, 0xFF),
+        reference: "337346-002US",
+        label: "Core 8/9",
+        release: d(2018, 10, 8),
+    },
+    DesignInfo {
+        design: Design::Intel10,
+        vendor: Vendor::Intel,
+        segment: Segment::Unified,
+        span: (10, 10),
+        models: (0, 0xFF),
+        reference: "615213-010US",
+        label: "Core 10",
+        release: d(2019, 9, 1),
+    },
+    DesignInfo {
+        design: Design::Intel11,
+        vendor: Vendor::Intel,
+        segment: Segment::Unified,
+        span: (11, 11),
+        models: (0, 0xFF),
+        reference: "634808-008US",
+        label: "Core 11",
+        release: d(2020, 9, 17),
+    },
+    DesignInfo {
+        design: Design::Intel12,
+        vendor: Vendor::Intel,
+        segment: Segment::Unified,
+        span: (12, 12),
+        models: (0, 0xFF),
+        reference: "682436-004US",
+        label: "Core 12",
+        release: d(2021, 11, 4),
+    },
+    DesignInfo {
+        design: Design::Amd10h,
+        vendor: Vendor::Amd,
+        segment: Segment::Unified,
+        span: (0x10, 0x10),
+        models: (0x00, 0x0F),
+        reference: "41322-3.84",
+        label: "Fam. 10h 00-0F",
+        release: d(2007, 11, 19),
+    },
+    DesignInfo {
+        design: Design::Amd11h,
+        vendor: Vendor::Amd,
+        segment: Segment::Unified,
+        span: (0x11, 0x11),
+        models: (0x00, 0x0F),
+        reference: "41788-3.00",
+        label: "Fam. 11h 00-0F",
+        release: d(2008, 6, 4),
+    },
+    DesignInfo {
+        design: Design::Amd12h,
+        vendor: Vendor::Amd,
+        segment: Segment::Unified,
+        span: (0x12, 0x12),
+        models: (0x00, 0x0F),
+        reference: "44739-3.10",
+        label: "Fam. 12h 00-0F",
+        release: d(2011, 6, 14),
+    },
+    DesignInfo {
+        design: Design::Amd14h,
+        vendor: Vendor::Amd,
+        segment: Segment::Unified,
+        span: (0x14, 0x14),
+        models: (0x00, 0x0F),
+        reference: "47534-3.18",
+        label: "Fam. 14h 00-0F",
+        release: d(2011, 1, 4),
+    },
+    DesignInfo {
+        design: Design::Amd15h00,
+        vendor: Vendor::Amd,
+        segment: Segment::Unified,
+        span: (0x15, 0x15),
+        models: (0x00, 0x0F),
+        reference: "48063-3.24",
+        label: "Fam. 15h 00-0F",
+        release: d(2011, 10, 12),
+    },
+    DesignInfo {
+        design: Design::Amd15h10,
+        vendor: Vendor::Amd,
+        segment: Segment::Unified,
+        span: (0x15, 0x15),
+        models: (0x10, 0x1F),
+        reference: "48931-3.08",
+        label: "Fam. 15h 10-1F",
+        release: d(2012, 10, 2),
+    },
+    DesignInfo {
+        design: Design::Amd15h30,
+        vendor: Vendor::Amd,
+        segment: Segment::Unified,
+        span: (0x15, 0x15),
+        models: (0x30, 0x3F),
+        reference: "51603-1.06",
+        label: "Fam. 15h 30-3F",
+        release: d(2014, 1, 14),
+    },
+    DesignInfo {
+        design: Design::Amd15h70,
+        vendor: Vendor::Amd,
+        segment: Segment::Unified,
+        span: (0x15, 0x15),
+        models: (0x70, 0x7F),
+        reference: "55370-3.00",
+        label: "Fam. 15h 70-7F",
+        release: d(2016, 6, 1),
+    },
+    DesignInfo {
+        design: Design::Amd16h,
+        vendor: Vendor::Amd,
+        segment: Segment::Unified,
+        span: (0x16, 0x16),
+        models: (0x00, 0x0F),
+        reference: "51810-3.06",
+        label: "Fam. 16h 00-0F",
+        release: d(2013, 5, 23),
+    },
+    DesignInfo {
+        design: Design::Amd17h00,
+        vendor: Vendor::Amd,
+        segment: Segment::Unified,
+        span: (0x17, 0x17),
+        models: (0x00, 0x0F),
+        reference: "55449-1.12",
+        label: "Fam. 17h 00-0F",
+        release: d(2017, 3, 2),
+    },
+    DesignInfo {
+        design: Design::Amd17h30,
+        vendor: Vendor::Amd,
+        segment: Segment::Unified,
+        span: (0x17, 0x17),
+        models: (0x30, 0x3F),
+        reference: "56323-0.78",
+        label: "Fam. 17h 30-3F",
+        release: d(2019, 8, 7),
+    },
+    DesignInfo {
+        design: Design::Amd19h,
+        vendor: Vendor::Amd,
+        segment: Segment::Unified,
+        span: (0x19, 0x19),
+        models: (0x00, 0x0F),
+        reference: "56683-1.04",
+        label: "Fam. 19h 00-0F",
+        release: d(2020, 11, 5),
+    },
 ];
 
 impl Design {
@@ -190,12 +442,18 @@ impl Design {
 
     /// The 16 Intel designs, in generation order.
     pub fn intel() -> impl Iterator<Item = Design> {
-        Design::ALL.iter().copied().filter(|d| d.vendor() == Vendor::Intel)
+        Design::ALL
+            .iter()
+            .copied()
+            .filter(|d| d.vendor() == Vendor::Intel)
     }
 
     /// The 12 AMD designs, in family order.
     pub fn amd() -> impl Iterator<Item = Design> {
-        Design::ALL.iter().copied().filter(|d| d.vendor() == Vendor::Amd)
+        Design::ALL
+            .iter()
+            .copied()
+            .filter(|d| d.vendor() == Vendor::Amd)
     }
 
     fn info(&self) -> &'static DesignInfo {

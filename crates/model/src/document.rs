@@ -180,10 +180,22 @@ mod tests {
         ErrataDocument {
             design,
             revisions: vec![
-                Revision { number: 1, date: date(2015, 9), added: vec![1, 2] },
-                Revision { number: 2, date: date(2016, 2), added: vec![3] },
+                Revision {
+                    number: 1,
+                    date: date(2015, 9),
+                    added: vec![1, 2],
+                },
+                Revision {
+                    number: 2,
+                    date: date(2016, 2),
+                    added: vec![3],
+                },
                 // Contradicting claim: revision 3 pretends to add 3 again.
-                Revision { number: 3, date: date(2016, 8), added: vec![3, 5] },
+                Revision {
+                    number: 3,
+                    date: date(2016, 8),
+                    added: vec![3, 5],
+                },
             ],
             errata: (1..=5).map(|n| erratum(design, n)).collect(),
             fix_summary: vec![FixedIn {

@@ -34,12 +34,7 @@ pub struct MachineErratum {
     pub status: String,
 }
 
-fn write_level(
-    out: &mut String,
-    heading: &str,
-    abstract_codes: &[&str],
-    concrete: &[String],
-) {
+fn write_level(out: &mut String, heading: &str, abstract_codes: &[&str], concrete: &[String]) {
     out.push_str(heading);
     out.push_str(":\n  Abstract: ");
     out.push_str(&abstract_codes.join(", "));
@@ -57,19 +52,34 @@ impl MachineErratum {
         write_level(
             &mut out,
             "Triggers",
-            &self.annotation.triggers.iter().map(|t| t.code()).collect::<Vec<_>>(),
+            &self
+                .annotation
+                .triggers
+                .iter()
+                .map(|t| t.code())
+                .collect::<Vec<_>>(),
             &self.annotation.concrete_triggers,
         );
         write_level(
             &mut out,
             "Contexts",
-            &self.annotation.contexts.iter().map(|c| c.code()).collect::<Vec<_>>(),
+            &self
+                .annotation
+                .contexts
+                .iter()
+                .map(|c| c.code())
+                .collect::<Vec<_>>(),
             &self.annotation.concrete_contexts,
         );
         write_level(
             &mut out,
             "Effects",
-            &self.annotation.effects.iter().map(|e| e.code()).collect::<Vec<_>>(),
+            &self
+                .annotation
+                .effects
+                .iter()
+                .map(|e| e.code())
+                .collect::<Vec<_>>(),
             &self.annotation.concrete_effects,
         );
         out.push_str(&format!(
@@ -83,7 +93,11 @@ impl MachineErratum {
         ));
         out.push_str(&format!(
             "Complex conditions: {}\n",
-            if self.annotation.complex_conditions { "yes" } else { "no" }
+            if self.annotation.complex_conditions {
+                "yes"
+            } else {
+                "no"
+            }
         ));
         out.push_str(&format!("Comments: {}\n", self.comments));
         out.push_str(&format!(
@@ -141,10 +155,12 @@ fn parse_codes<T: FromStr<Err = ModelError>>(
     }
     text.split(',')
         .map(|code| {
-            code.trim().parse::<T>().map_err(|_| ModelError::FormatParse {
-                line: line_no,
-                reason: format!("unknown category code {:?}", code.trim()),
-            })
+            code.trim()
+                .parse::<T>()
+                .map_err(|_| ModelError::FormatParse {
+                    line: line_no,
+                    reason: format!("unknown category code {:?}", code.trim()),
+                })
         })
         .collect()
 }

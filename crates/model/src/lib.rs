@@ -57,9 +57,7 @@ pub use format::MachineErratum;
 pub use ids::UniqueKey;
 pub use msr::{MsrName, MsrRef};
 pub use status::{FixStatus, WorkaroundCategory};
-pub use taxonomy::{
-    Category, Context, ContextClass, Effect, EffectClass, Trigger, TriggerClass,
-};
+pub use taxonomy::{Category, Context, ContextClass, Effect, EffectClass, Trigger, TriggerClass};
 
 #[cfg(test)]
 mod tests {

@@ -60,32 +60,188 @@ struct MsrInfo {
 }
 
 const MSR_INFOS: [MsrInfo; 26] = [
-    MsrInfo { name: MsrName::McStatus, text: "MCx_STATUS", address: 0x0401, vendor: None, banked: true },
-    MsrInfo { name: MsrName::McAddr, text: "MCx_ADDR", address: 0x0402, vendor: None, banked: true },
-    MsrInfo { name: MsrName::McMisc, text: "MCx_MISC", address: 0x0403, vendor: None, banked: true },
-    MsrInfo { name: MsrName::McgStatus, text: "MCG_STATUS", address: 0x017A, vendor: None, banked: false },
-    MsrInfo { name: MsrName::McgCap, text: "MCG_CAP", address: 0x0179, vendor: None, banked: false },
-    MsrInfo { name: MsrName::IbsFetchCtl, text: "IBS_FETCH_CTL", address: 0xC001_1030, vendor: Some(Vendor::Amd), banked: false },
-    MsrInfo { name: MsrName::IbsOpCtl, text: "IBS_OP_CTL", address: 0xC001_1033, vendor: Some(Vendor::Amd), banked: false },
-    MsrInfo { name: MsrName::IbsOpData, text: "IBS_OP_DATA", address: 0xC001_1035, vendor: Some(Vendor::Amd), banked: false },
-    MsrInfo { name: MsrName::PerfCtr, text: "PERF_CTR", address: 0x00C1, vendor: None, banked: true },
-    MsrInfo { name: MsrName::PerfEvtSel, text: "PERF_EVT_SEL", address: 0x0186, vendor: None, banked: true },
-    MsrInfo { name: MsrName::FixedCtr, text: "FIXED_CTR", address: 0x0309, vendor: Some(Vendor::Intel), banked: true },
-    MsrInfo { name: MsrName::Aperf, text: "APERF", address: 0x00E8, vendor: None, banked: false },
-    MsrInfo { name: MsrName::Mperf, text: "MPERF", address: 0x00E7, vendor: None, banked: false },
-    MsrInfo { name: MsrName::Tsc, text: "TSC", address: 0x0010, vendor: None, banked: false },
-    MsrInfo { name: MsrName::ApicBase, text: "APIC_BASE", address: 0x001B, vendor: None, banked: false },
-    MsrInfo { name: MsrName::PStateStatus, text: "PSTATE_STATUS", address: 0xC001_0063, vendor: Some(Vendor::Amd), banked: false },
-    MsrInfo { name: MsrName::ThermStatus, text: "THERM_STATUS", address: 0x019C, vendor: Some(Vendor::Intel), banked: false },
-    MsrInfo { name: MsrName::PkgEnergyStatus, text: "PKG_ENERGY_STATUS", address: 0x0611, vendor: Some(Vendor::Intel), banked: false },
-    MsrInfo { name: MsrName::SmiCount, text: "SMI_COUNT", address: 0x0034, vendor: Some(Vendor::Intel), banked: false },
-    MsrInfo { name: MsrName::DebugCtl, text: "DEBUG_CTL", address: 0x01D9, vendor: None, banked: false },
-    MsrInfo { name: MsrName::LastBranchRecord, text: "LBR_FROM_IP", address: 0x0680, vendor: Some(Vendor::Intel), banked: true },
-    MsrInfo { name: MsrName::Efer, text: "EFER", address: 0xC000_0080, vendor: None, banked: false },
-    MsrInfo { name: MsrName::Pat, text: "PAT", address: 0x0277, vendor: None, banked: false },
-    MsrInfo { name: MsrName::MtrrCap, text: "MTRR_CAP", address: 0x00FE, vendor: None, banked: false },
-    MsrInfo { name: MsrName::VmCr, text: "VM_CR", address: 0xC001_0114, vendor: Some(Vendor::Amd), banked: false },
-    MsrInfo { name: MsrName::SpecCtrl, text: "SPEC_CTRL", address: 0x0048, vendor: None, banked: false },
+    MsrInfo {
+        name: MsrName::McStatus,
+        text: "MCx_STATUS",
+        address: 0x0401,
+        vendor: None,
+        banked: true,
+    },
+    MsrInfo {
+        name: MsrName::McAddr,
+        text: "MCx_ADDR",
+        address: 0x0402,
+        vendor: None,
+        banked: true,
+    },
+    MsrInfo {
+        name: MsrName::McMisc,
+        text: "MCx_MISC",
+        address: 0x0403,
+        vendor: None,
+        banked: true,
+    },
+    MsrInfo {
+        name: MsrName::McgStatus,
+        text: "MCG_STATUS",
+        address: 0x017A,
+        vendor: None,
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::McgCap,
+        text: "MCG_CAP",
+        address: 0x0179,
+        vendor: None,
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::IbsFetchCtl,
+        text: "IBS_FETCH_CTL",
+        address: 0xC001_1030,
+        vendor: Some(Vendor::Amd),
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::IbsOpCtl,
+        text: "IBS_OP_CTL",
+        address: 0xC001_1033,
+        vendor: Some(Vendor::Amd),
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::IbsOpData,
+        text: "IBS_OP_DATA",
+        address: 0xC001_1035,
+        vendor: Some(Vendor::Amd),
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::PerfCtr,
+        text: "PERF_CTR",
+        address: 0x00C1,
+        vendor: None,
+        banked: true,
+    },
+    MsrInfo {
+        name: MsrName::PerfEvtSel,
+        text: "PERF_EVT_SEL",
+        address: 0x0186,
+        vendor: None,
+        banked: true,
+    },
+    MsrInfo {
+        name: MsrName::FixedCtr,
+        text: "FIXED_CTR",
+        address: 0x0309,
+        vendor: Some(Vendor::Intel),
+        banked: true,
+    },
+    MsrInfo {
+        name: MsrName::Aperf,
+        text: "APERF",
+        address: 0x00E8,
+        vendor: None,
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::Mperf,
+        text: "MPERF",
+        address: 0x00E7,
+        vendor: None,
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::Tsc,
+        text: "TSC",
+        address: 0x0010,
+        vendor: None,
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::ApicBase,
+        text: "APIC_BASE",
+        address: 0x001B,
+        vendor: None,
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::PStateStatus,
+        text: "PSTATE_STATUS",
+        address: 0xC001_0063,
+        vendor: Some(Vendor::Amd),
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::ThermStatus,
+        text: "THERM_STATUS",
+        address: 0x019C,
+        vendor: Some(Vendor::Intel),
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::PkgEnergyStatus,
+        text: "PKG_ENERGY_STATUS",
+        address: 0x0611,
+        vendor: Some(Vendor::Intel),
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::SmiCount,
+        text: "SMI_COUNT",
+        address: 0x0034,
+        vendor: Some(Vendor::Intel),
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::DebugCtl,
+        text: "DEBUG_CTL",
+        address: 0x01D9,
+        vendor: None,
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::LastBranchRecord,
+        text: "LBR_FROM_IP",
+        address: 0x0680,
+        vendor: Some(Vendor::Intel),
+        banked: true,
+    },
+    MsrInfo {
+        name: MsrName::Efer,
+        text: "EFER",
+        address: 0xC000_0080,
+        vendor: None,
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::Pat,
+        text: "PAT",
+        address: 0x0277,
+        vendor: None,
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::MtrrCap,
+        text: "MTRR_CAP",
+        address: 0x00FE,
+        vendor: None,
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::VmCr,
+        text: "VM_CR",
+        address: 0xC001_0114,
+        vendor: Some(Vendor::Amd),
+        banked: false,
+    },
+    MsrInfo {
+        name: MsrName::SpecCtrl,
+        text: "SPEC_CTRL",
+        address: 0x0048,
+        vendor: None,
+        banked: false,
+    },
 ];
 
 impl MsrName {

@@ -39,7 +39,9 @@ impl FixStatus {
         match self {
             FixStatus::NoFixPlanned => "No fix planned.",
             FixStatus::FixPlanned => "A fix is planned for a future stepping.",
-            FixStatus::Fixed => "For the steppings affected, refer to the Summary Table of Changes.",
+            FixStatus::Fixed => {
+                "For the steppings affected, refer to the Summary Table of Changes."
+            }
             FixStatus::DocumentationChange => "Documentation changed to reflect intended behavior.",
         }
     }
@@ -151,9 +153,8 @@ impl WorkaroundCategory {
             WorkaroundCategory::Peripherals
         } else if lower.contains("software") || lower.contains("operating system") {
             WorkaroundCategory::Software
-        } else if lower.contains("contact") {
-            WorkaroundCategory::Absent
         } else {
+            // "Contact the vendor" phrasing and anything unrecognized.
             WorkaroundCategory::Absent
         }
     }
@@ -197,7 +198,10 @@ mod tests {
             ),
             FixStatus::Fixed
         );
-        assert_eq!(FixStatus::classify("No fix planned."), FixStatus::NoFixPlanned);
+        assert_eq!(
+            FixStatus::classify("No fix planned."),
+            FixStatus::NoFixPlanned
+        );
     }
 
     #[test]

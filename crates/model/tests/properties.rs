@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use rememberr_model::{
-    Annotation, Category, Context, ContextSet, Date, Effect, EffectSet, MachineErratum,
-    Trigger, TriggerSet, UniqueKey,
+    Annotation, Category, Context, ContextSet, Date, Effect, EffectSet, MachineErratum, Trigger,
+    TriggerSet, UniqueKey,
 };
 
 /// Strategy: an arbitrary trigger set from member indices.

@@ -1,0 +1,142 @@
+//! Observability for the RemembERR pipeline: hierarchical tracing spans
+//! and a process-global metrics registry.
+//!
+//! # Design
+//!
+//! * **Disabled by default.** Every entry point checks one relaxed atomic
+//!   and returns immediately when collection is off, so instrumented hot
+//!   paths (similarity comparisons, page scans) pay only a load+branch.
+//!   [`enable`] turns collection on; the CLI does this for `--trace` and
+//!   `--metrics-out`.
+//! * **Determinism split.** Counters are pure functions of the input and
+//!   the seed, so their JSON section is byte-identical across identically
+//!   seeded runs and tests may assert exact values. Durations are wall
+//!   clock and live in a separate section ([`Snapshot`] keeps them apart).
+//! * **Naming convention.** Metric names are `stage.noun_verb`, e.g.
+//!   `extract.pages_scanned`, `dedup.comparisons_made`,
+//!   `classify.rules_fired`. Stages: `docgen`, `extract`, `dedup`,
+//!   `persist`, `classify`, `analysis`.
+//!
+//! # Example
+//!
+//! ```
+//! rememberr_obs::enable();
+//! {
+//!     let _outer = rememberr_obs::span!("extract.corpus");
+//!     let _inner = rememberr_obs::span!("extract.document", "intel-6");
+//!     rememberr_obs::count("extract.pages_scanned", 12);
+//! }
+//! let snap = rememberr_obs::snapshot();
+//! assert_eq!(snap.counters.get("extract.pages_scanned"), Some(&12));
+//! assert!(rememberr_obs::render_trace().contains("extract.document"));
+//! rememberr_obs::reset();
+//! rememberr_obs::disable();
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod metrics;
+mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use metrics::{Histogram, Snapshot, BUCKETS};
+pub use span::{render_trace, span, span_with_detail, take_spans, Span, SpanRecord};
+
+/// Master switch; collection is off until [`enable`] is called.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns metric and span collection on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns collection back off; already-collected data stays until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether collection is currently on.
+#[inline]
+#[must_use]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `delta` to the named counter. No-op while collection is off.
+///
+/// Counter values must be deterministic for a fixed input and seed: count
+/// events, never elapsed time (durations go to [`record_ns`]).
+#[inline]
+pub fn count(name: &'static str, delta: u64) {
+    if is_enabled() {
+        metrics::add_counter(name, delta);
+    }
+}
+
+/// Records one duration observation, in nanoseconds, into the named
+/// log-scale histogram. No-op while collection is off.
+#[inline]
+pub fn record_ns(name: &'static str, nanos: u64) {
+    if is_enabled() {
+        metrics::add_duration(name, nanos);
+    }
+}
+
+/// Takes a consistent copy of all counters and duration histograms.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    metrics::snapshot()
+}
+
+/// Clears all counters, histograms, and completed spans (test isolation
+/// and multi-command CLI runs).
+pub fn reset() {
+    metrics::reset();
+    span::reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Unit tests share the process-global registry; serialize them.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn exclusive() -> MutexGuard<'static, ()> {
+        let guard = GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        super::reset();
+        super::enable();
+        guard
+    }
+
+    pub(crate) fn teardown() {
+        super::disable();
+        super::reset();
+    }
+
+    #[test]
+    fn disabled_collection_records_nothing() {
+        let _gate = exclusive();
+        super::disable();
+        super::count("test.should_not_appear", 5);
+        super::record_ns("test.should_not_appear", 100);
+        {
+            let _span = super::span("test.invisible");
+        }
+        let snap = super::snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.durations.is_empty());
+        assert!(super::take_spans().is_empty());
+        teardown();
+    }
+
+    #[test]
+    fn enable_disable_round_trips() {
+        let _gate = exclusive();
+        assert!(super::is_enabled());
+        super::disable();
+        assert!(!super::is_enabled());
+        teardown();
+    }
+}

@@ -1,0 +1,230 @@
+//! The metrics registry: named monotonic counters and log-scale duration
+//! histograms behind one mutex.
+//!
+//! Counters and histograms are kept in `BTreeMap`s so every snapshot and
+//! JSON export iterates in name order — a precondition for the
+//! byte-identical counter sections the test suite asserts.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two duration buckets; bucket `i` counts observations
+/// with `floor(log2(ns)) == i` (bucket 0 also takes `ns == 0`).
+pub const BUCKETS: usize = 64;
+
+/// Compile-time guard that the bucket math and the advertised bucket count
+/// agree (`bucket_index` maps into `0..BUCKETS`).
+const _: () = assert!(BUCKETS == u64::BITS as usize);
+
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    durations: BTreeMap<&'static str, Histogram>,
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    counters: BTreeMap::new(),
+    durations: BTreeMap::new(),
+});
+
+fn registry() -> std::sync::MutexGuard<'static, Registry> {
+    REGISTRY
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+pub(crate) fn add_counter(name: &'static str, delta: u64) {
+    let mut reg = registry();
+    let slot = reg.counters.entry(name).or_insert(0);
+    *slot = slot.saturating_add(delta);
+}
+
+pub(crate) fn add_duration(name: &'static str, nanos: u64) {
+    let mut reg = registry();
+    reg.durations.entry(name).or_default().record(nanos);
+}
+
+pub(crate) fn snapshot() -> Snapshot {
+    let reg = registry();
+    Snapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(name, value)| ((*name).to_string(), *value))
+            .collect(),
+        durations: reg
+            .durations
+            .iter()
+            .map(|(name, histogram)| ((*name).to_string(), histogram.clone()))
+            .collect(),
+    }
+}
+
+pub(crate) fn reset() {
+    let mut reg = registry();
+    reg.counters.clear();
+    reg.durations.clear();
+}
+
+/// A log-scale histogram of durations in nanoseconds.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of all observations, saturating.
+    pub total_ns: u64,
+    /// Smallest observation (0 when empty).
+    pub min_ns: u64,
+    /// Largest observation.
+    pub max_ns: u64,
+    /// Sparse buckets as `(bucket_index, count)`, index-ascending; bucket
+    /// `i` holds observations in `[2^i, 2^(i+1))` (index 0 also takes 0).
+    pub buckets: Vec<(u8, u64)>,
+}
+
+/// Bucket index for one observation.
+#[must_use]
+pub(crate) fn bucket_index(nanos: u64) -> u8 {
+    if nanos == 0 {
+        0
+    } else {
+        (63 - nanos.leading_zeros()) as u8
+    }
+}
+
+impl Histogram {
+    /// Adds one observation.
+    pub fn record(&mut self, nanos: u64) {
+        if self.count == 0 || nanos < self.min_ns {
+            self.min_ns = nanos;
+        }
+        if nanos > self.max_ns {
+            self.max_ns = nanos;
+        }
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(nanos);
+        let index = bucket_index(nanos);
+        match self.buckets.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (index, 1)),
+        }
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A point-in-time copy of the registry, JSON-exportable.
+///
+/// The `counters` section is deterministic for a fixed input and seed;
+/// `durations` is wall-clock and varies run to run. Consumers comparing
+/// runs must compare `counters` only — that is why the two live in
+/// separate top-level JSON keys.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Deterministic event counts, name-ascending.
+    pub counters: BTreeMap<String, u64>,
+    /// Nondeterministic duration histograms, name-ascending.
+    pub durations: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// Pretty JSON with `counters` and `durations` as separate sections.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization is infallible")
+    }
+
+    /// The deterministic section alone, as compact JSON — byte-identical
+    /// across identically seeded runs.
+    #[must_use]
+    pub fn counters_json(&self) -> String {
+        serde_json::to_string(&self.counters).expect("counter serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::{exclusive, teardown};
+
+    #[test]
+    fn counters_accumulate_and_snapshot_in_name_order() {
+        let _gate = exclusive();
+        crate::count("z.last", 1);
+        crate::count("a.first", 2);
+        crate::count("a.first", 3);
+        let snap = crate::snapshot();
+        let names: Vec<&str> = snap.counters.keys().map(String::as_str).collect();
+        assert_eq!(names, ["a.first", "z.last"]);
+        assert_eq!(snap.counters["a.first"], 5);
+        assert_eq!(snap.counters["z.last"], 1);
+        teardown();
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(7), 2);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let mut h = Histogram::default();
+        for ns in [5, 3, 900, 3] {
+            h.record(ns);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.total_ns, 911);
+        assert_eq!(h.min_ns, 3);
+        assert_eq!(h.max_ns, 900);
+        assert_eq!(h.mean_ns(), 227);
+        // 3 and 3 share bucket 1, 5 is bucket 2, 900 is bucket 9.
+        assert_eq!(h.buckets, vec![(1, 2), (2, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn counter_section_is_deterministic_across_identical_runs() {
+        let _gate = exclusive();
+        let run = || {
+            crate::reset();
+            // Same logical event stream, interleaved differently with
+            // durations — durations must not leak into the counter section.
+            crate::count("dedup.comparisons_made", 40);
+            crate::record_ns("dedup.assign_keys", 123_456);
+            crate::count("extract.pages_scanned", 7);
+            crate::count("dedup.comparisons_made", 2);
+            crate::snapshot().counters_json()
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second);
+        assert!(first.contains("\"dedup.comparisons_made\":42"));
+        teardown();
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let _gate = exclusive();
+        crate::count("classify.rules_fired", 11);
+        crate::record_ns("analysis.figure", 2_048);
+        crate::record_ns("analysis.figure", 4_096);
+        let snap = crate::snapshot();
+        let parsed: Snapshot = serde_json::from_str(&snap.to_json()).expect("valid JSON");
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.durations["analysis.figure"].count, 2);
+        teardown();
+    }
+}

@@ -1,0 +1,235 @@
+//! Hierarchical tracing spans: RAII guards that time a region, nest via a
+//! thread-local stack, and publish completed root spans to a global
+//! collector for text-tree or JSON rendering.
+
+use std::cell::RefCell;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// One completed span with its timed children.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// The static span name (`stage.noun_verb`).
+    pub name: String,
+    /// Optional per-instance detail, e.g. a document or figure label.
+    pub detail: Option<String>,
+    /// Wall-clock duration, monotonic-clock nanoseconds.
+    pub elapsed_ns: u64,
+    /// Completed child spans, in completion order.
+    pub children: Vec<SpanRecord>,
+}
+
+/// An in-progress span on the thread-local stack.
+struct Frame {
+    name: &'static str,
+    detail: Option<String>,
+    start: Instant,
+    children: Vec<SpanRecord>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Completed root spans from all threads, in completion order.
+static COMPLETED: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+fn completed() -> std::sync::MutexGuard<'static, Vec<SpanRecord>> {
+    COMPLETED
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// RAII guard returned by [`span`]; closing (dropping) it records the
+/// elapsed time. Guards must close in reverse opening order (the natural
+/// order for scope-bound guards).
+#[must_use = "a span measures the scope holding the guard; dropping it immediately measures nothing"]
+pub struct Span {
+    /// Stack depth at open; `usize::MAX` marks a disabled no-op guard.
+    depth: usize,
+}
+
+/// Opens a span. While collection is disabled this is a no-op returning an
+/// inert guard.
+pub fn span(name: &'static str) -> Span {
+    open(name, None)
+}
+
+/// Opens a span with a per-instance detail string (used by the `span!`
+/// macro's formatting arm).
+pub fn span_with_detail(name: &'static str, detail: String) -> Span {
+    open(name, Some(detail))
+}
+
+fn open(name: &'static str, detail: Option<String>) -> Span {
+    if !crate::is_enabled() {
+        return Span { depth: usize::MAX };
+    }
+    let depth = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(Frame {
+            name,
+            detail,
+            start: Instant::now(),
+            children: Vec::new(),
+        });
+        stack.len() - 1
+    });
+    Span { depth }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.depth == usize::MAX {
+            return;
+        }
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Defensive: close any frames opened after this one that were
+            // leaked rather than dropped (they become children).
+            while stack.len() > self.depth {
+                let frame = stack.pop().expect("stack holds this span's frame");
+                let elapsed_ns =
+                    u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                crate::record_ns(frame.name, elapsed_ns);
+                let record = SpanRecord {
+                    name: frame.name.to_string(),
+                    detail: frame.detail,
+                    elapsed_ns,
+                    children: frame.children,
+                };
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(record),
+                    None => completed().push(record),
+                }
+            }
+        });
+    }
+}
+
+/// Opens a span guard: `span!("extract.document")`, or with a formatted
+/// detail label, `span!("analysis.figure", "fig{:02}", n)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $($detail:tt)+) => {
+        $crate::span_with_detail($name, format!($($detail)+))
+    };
+}
+
+/// Removes and returns all completed root spans (completion order).
+#[must_use]
+pub fn take_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *completed())
+}
+
+/// Renders completed root spans as an indented text tree with millisecond
+/// timings. Does not consume the spans.
+#[must_use]
+pub fn render_trace() -> String {
+    let mut out = String::new();
+    for record in completed().iter() {
+        render_into(record, 0, &mut out);
+    }
+    out
+}
+
+fn render_into(record: &SpanRecord, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(&record.name);
+    if let Some(detail) = &record.detail {
+        out.push_str(" [");
+        out.push_str(detail);
+        out.push(']');
+    }
+    let ms = record.elapsed_ns as f64 / 1_000_000.0;
+    out.push_str(&format!(" — {ms:.3} ms\n"));
+    for child in &record.children {
+        render_into(child, depth + 1, out);
+    }
+}
+
+pub(crate) fn reset() {
+    completed().clear();
+    STACK.with(|stack| stack.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::{exclusive, teardown};
+
+    #[test]
+    fn spans_nest_and_preserve_order() {
+        let _gate = exclusive();
+        {
+            let _root = crate::span!("test.root");
+            {
+                let _first = crate::span!("test.first");
+            }
+            {
+                let _second = crate::span!("test.second", "doc {}", 3);
+            }
+        }
+        let spans = take_spans();
+        assert_eq!(spans.len(), 1);
+        let root = &spans[0];
+        assert_eq!(root.name, "test.root");
+        let child_names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(child_names, ["test.first", "test.second"]);
+        assert_eq!(root.children[1].detail.as_deref(), Some("doc 3"));
+        // A parent's time covers its children.
+        assert!(root.elapsed_ns >= root.children.iter().map(|c| c.elapsed_ns).sum::<u64>());
+        teardown();
+    }
+
+    #[test]
+    fn span_durations_feed_the_histogram_registry() {
+        let _gate = exclusive();
+        {
+            let _span = crate::span!("test.timed");
+        }
+        let snap = crate::snapshot();
+        assert_eq!(snap.durations["test.timed"].count, 1);
+        // Spans record durations, never counters.
+        assert!(snap.counters.is_empty());
+        teardown();
+    }
+
+    #[test]
+    fn trace_tree_renders_with_indentation() {
+        let _gate = exclusive();
+        {
+            let _outer = crate::span!("test.outer");
+            let _inner = crate::span!("test.inner");
+        }
+        let tree = render_trace();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("test.outer — "));
+        assert!(lines[1].starts_with("  test.inner — "));
+        // Rendering does not consume.
+        assert_eq!(take_spans().len(), 1);
+        teardown();
+    }
+
+    #[test]
+    fn span_records_round_trip_through_json() {
+        let _gate = exclusive();
+        {
+            let _root = crate::span!("test.json", "case");
+            let _leaf = crate::span!("test.leaf");
+        }
+        let spans = take_spans();
+        let text = serde_json::to_string(&spans).expect("serializes");
+        let parsed: Vec<SpanRecord> = serde_json::from_str(&text).expect("parses");
+        assert_eq!(parsed, spans);
+        teardown();
+    }
+}

@@ -98,7 +98,8 @@ mod tests {
 
     fn demo_patterns() -> PatternSet {
         let mut set = PatternSet::new();
-        set.add_source("Trg_POW_pwc", "power <2> state|states").unwrap();
+        set.add_source("Trg_POW_pwc", "power <2> state|states")
+            .unwrap();
         set.add_source("Trg_EXT_rst", "warm|cold reset").unwrap();
         set.add_source("Eff_HNG_hng", "hang|hangs").unwrap();
         set

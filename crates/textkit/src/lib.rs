@@ -51,4 +51,4 @@ pub use normalize::{is_stopword, normalize, normalized_key, stem};
 pub use pattern::{Pattern, PatternError, PatternSet, PreparedText, Span};
 pub use similarity::{cosine, jaccard, levenshtein, levenshtein_similarity, title_similarity};
 pub use tokenize::{tokenize, word_tokens, Token, TokenKind};
-pub use wrap::{reflow, wrap};
+pub use wrap::{reflow, reflow_counted, wrap, ReflowStats};

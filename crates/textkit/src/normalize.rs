@@ -10,9 +10,9 @@ use crate::tokenize::word_tokens;
 /// English stopwords that carry no signal in erratum titles.
 const STOPWORDS: &[&str] = &[
     "a", "an", "and", "are", "as", "at", "be", "by", "can", "could", "do", "does", "for", "from",
-    "has", "have", "if", "in", "into", "is", "it", "its", "may", "might", "not", "of", "on",
-    "or", "shall", "should", "such", "that", "the", "their", "then", "there", "these", "this",
-    "to", "under", "upon", "when", "which", "while", "will", "with", "would",
+    "has", "have", "if", "in", "into", "is", "it", "its", "may", "might", "not", "of", "on", "or",
+    "shall", "should", "such", "that", "the", "their", "then", "there", "these", "this", "to",
+    "under", "upon", "when", "which", "while", "will", "with", "would",
 ];
 
 /// True if the lowercase word is a stopword.
@@ -48,8 +48,7 @@ pub fn stem(word: &str) -> String {
         }
     }
     if let Some(base) = w.strip_suffix('s') {
-        if base.len() >= 3 && !base.ends_with('s') && !base.ends_with('u') && !base.ends_with('i')
-        {
+        if base.len() >= 3 && !base.ends_with('s') && !base.ends_with('u') && !base.ends_with('i') {
             return base.to_string();
         }
     }

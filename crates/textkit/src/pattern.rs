@@ -180,9 +180,7 @@ impl Pattern {
             } else if raw == "?" {
                 elems.push(Elem::AnyWord);
             } else if let Some(gap) = raw.strip_prefix('<').and_then(|r| r.strip_suffix('>')) {
-                let max: usize = gap
-                    .parse()
-                    .map_err(|_| err("gap bound must be a number"))?;
+                let max: usize = gap.parse().map_err(|_| err("gap bound must be a number"))?;
                 elems.push(Elem::Gap { max });
             } else {
                 let mut alts = Vec::new();
@@ -250,8 +248,7 @@ impl Pattern {
                     None
                 }
             }
-            Elem::Gap { max } => (0..=*max)
-                .find_map(|skip| self.match_at(text, ei + 1, wi + skip)),
+            Elem::Gap { max } => (0..=*max).find_map(|skip| self.match_at(text, ei + 1, wi + skip)),
         }
     }
 

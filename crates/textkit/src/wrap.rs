@@ -100,6 +100,24 @@ fn floor_char_boundary(s: &str, at: usize) -> usize {
     i
 }
 
+/// Repair statistics from one [`reflow_counted`] call, consumed by the
+/// extraction pipeline's instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReflowStats {
+    /// Wrapped continuation lines joined back into their paragraph.
+    pub lines_joined: usize,
+    /// Hyphenation artifacts undone (a word rejoined across a line break).
+    pub dehyphenations: usize,
+}
+
+impl ReflowStats {
+    /// Accumulates another call's statistics.
+    pub fn merge(&mut self, other: ReflowStats) {
+        self.lines_joined += other.lines_joined;
+        self.dehyphenations += other.dehyphenations;
+    }
+}
+
 /// Reflows wrapped lines back into a single paragraph string.
 ///
 /// Lines ending in a hyphen are joined to the next line without a space
@@ -110,7 +128,13 @@ fn floor_char_boundary(s: &str, at: usize) -> usize {
 /// distinction either, which is exactly the ambiguity the extraction
 /// pipeline inherits.
 pub fn reflow(lines: &[impl AsRef<str>]) -> String {
+    reflow_counted(lines).0
+}
+
+/// [`reflow`] that also reports how many repairs it performed.
+pub fn reflow_counted(lines: &[impl AsRef<str>]) -> (String, ReflowStats) {
     let mut out = String::new();
+    let mut stats = ReflowStats::default();
     for line in lines {
         let line = line.as_ref().trim_end();
         if line.is_empty() {
@@ -125,15 +149,18 @@ pub fn reflow(lines: &[impl AsRef<str>]) -> String {
             if head_ok && tail_ok {
                 out.truncate(stripped.len());
                 out.push_str(line);
+                stats.lines_joined += 1;
+                stats.dehyphenations += 1;
                 continue;
             }
         }
         if !out.is_empty() {
             out.push(' ');
+            stats.lines_joined += 1;
         }
         out.push_str(line);
     }
-    out
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -180,6 +207,21 @@ mod tests {
     #[test]
     fn reflow_joins_plain_lines_with_spaces() {
         assert_eq!(reflow(&["one two", "three"]), "one two three");
+    }
+
+    #[test]
+    fn reflow_counted_reports_repairs() {
+        // Two joins, one of which undoes a hyphenation.
+        let (text, stats) = reflow_counted(&["super-", "cali fragi", "listic"]);
+        assert_eq!(text, "supercali fragi listic");
+        assert_eq!(stats.lines_joined, 2);
+        assert_eq!(stats.dehyphenations, 1);
+        // Single-line input needs no repair.
+        let (_, clean) = reflow_counted(&["already flat"]);
+        assert_eq!(clean, ReflowStats::default());
+        let mut total = stats;
+        total.merge(clean);
+        assert_eq!(total, stats);
     }
 
     #[test]

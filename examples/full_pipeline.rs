@@ -22,13 +22,9 @@ fn main() {
     eprintln!("[1/5] generated {} errata", corpus.total_errata());
 
     // 2. Extraction from the rendered page streams.
-    let (documents, defects) = extract_corpus(
-        corpus
-            .rendered
-            .iter()
-            .map(|r| (r.design, r.text.as_str())),
-    )
-    .expect("corpus extracts cleanly");
+    let (documents, defects) =
+        extract_corpus(corpus.rendered.iter().map(|r| (r.design, r.text.as_str())))
+            .expect("corpus extracts cleanly");
     eprintln!(
         "[2/5] extracted {} documents, {} defects detected",
         documents.len(),

@@ -12,8 +12,8 @@
 
 use rememberr::Database;
 use rememberr_analysis::{
-    blackbox_guidance, plan_campaign, recommend_observation_points, top_trigger_pairs,
-    fig12_trigger_correlation,
+    blackbox_guidance, fig12_trigger_correlation, plan_campaign, recommend_observation_points,
+    top_trigger_pairs,
 };
 use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
 use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
@@ -50,7 +50,10 @@ fn main() {
     ]
     .into_iter()
     .collect();
-    println!("{}", recommend_observation_points(&db, &stimuli).render_text(40));
+    println!(
+        "{}",
+        recommend_observation_points(&db, &stimuli).render_text(40)
+    );
 
     // Formal-methods scoping: which design parts not to black-box.
     println!("{}", blackbox_guidance(&db).render_text(40));

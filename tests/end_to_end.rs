@@ -14,13 +14,9 @@ fn rendered_text_to_full_report() {
     let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.25));
 
     // Extraction reconstructs the structured documents exactly.
-    let (documents, defects) = extract_corpus(
-        corpus
-            .rendered
-            .iter()
-            .map(|r| (r.design, r.text.as_str())),
-    )
-    .expect("extraction succeeds");
+    let (documents, defects) =
+        extract_corpus(corpus.rendered.iter().map(|r| (r.design, r.text.as_str())))
+            .expect("extraction succeeds");
     assert_eq!(documents.len(), 28);
     for (got, want) in documents.iter().zip(&corpus.structured) {
         assert_eq!(got.errata, want.errata, "{}", want.design);
@@ -61,13 +57,9 @@ fn rendered_text_to_full_report() {
 fn counts_survive_extraction_at_multiple_scales() {
     for scale in [0.05, 0.15] {
         let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(scale));
-        let (documents, _) = extract_corpus(
-            corpus
-                .rendered
-                .iter()
-                .map(|r| (r.design, r.text.as_str())),
-        )
-        .expect("extraction succeeds");
+        let (documents, _) =
+            extract_corpus(corpus.rendered.iter().map(|r| (r.design, r.text.as_str())))
+                .expect("extraction succeeds");
         let db = Database::from_documents(&documents);
         for vendor in Vendor::ALL {
             assert_eq!(

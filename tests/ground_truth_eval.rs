@@ -1,9 +1,7 @@
 //! Accuracy of the pipeline stages against the synthetic ground truth,
 //! including the dedup-strategy ablation.
 
-use rememberr::{
-    evaluate_classification, evaluate_dedup, Database, DedupStrategy,
-};
+use rememberr::{evaluate_classification, evaluate_dedup, Database, DedupStrategy};
 use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
 use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
 
@@ -19,8 +17,7 @@ fn similarity_cascade_recovers_the_manual_pairs() {
     // The cascade closes exactly the gap the study closed by hand: the
     // near-duplicate pairs plus intra-document duplicates.
     let gap = exact_only.unique_count() - full.unique_count();
-    let expected =
-        spec.near_duplicate_pairs + spec.defects.intra_doc_duplicate_pairs;
+    let expected = spec.near_duplicate_pairs + spec.defects.intra_doc_duplicate_pairs;
     assert_eq!(gap, expected, "cascade closes the manual-merge gap");
     assert_eq!(
         full.dedup_stats().cascade_merges,
@@ -70,7 +67,11 @@ fn auto_only_classification_has_high_precision_lower_recall() {
         assisted_eval.overall.recall(),
         auto_eval.overall.recall()
     );
-    assert!(auto_eval.overall.precision() > 0.7, "auto precision {}", auto_eval.overall.precision());
+    assert!(
+        auto_eval.overall.precision() > 0.7,
+        "auto precision {}",
+        auto_eval.overall.precision()
+    );
     assert!(
         assisted_eval.overall.f1() > 0.75,
         "assisted F1 {}",

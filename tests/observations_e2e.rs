@@ -11,13 +11,9 @@ use rememberr_extract::extract_corpus;
 #[test]
 fn all_observations_hold_after_the_full_pipeline() {
     let corpus = SyntheticCorpus::paper();
-    let (documents, _) = extract_corpus(
-        corpus
-            .rendered
-            .iter()
-            .map(|r| (r.design, r.text.as_str())),
-    )
-    .expect("extraction succeeds");
+    let (documents, _) =
+        extract_corpus(corpus.rendered.iter().map(|r| (r.design, r.text.as_str())))
+            .expect("extraction succeeds");
 
     let mut db = Database::from_documents(&documents);
     assert_eq!(db.len(), 2_563);

@@ -1,0 +1,288 @@
+//! Vendored stand-in for the `criterion` API surface this workspace uses:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] (`sample_size`,
+//! `throughput`, `bench_function`, `finish`), [`Bencher`] (`iter`,
+//! `iter_batched`), [`Throughput`], [`BatchSize`], and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each `iter` call self-calibrates a batch size so one
+//! sample takes ≥ ~1 ms, then records `sample_size` samples and reports
+//! median / min / mean nanoseconds per iteration on stdout. No plotting,
+//! no statistical regression — adequate for the relative comparisons the
+//! workspace's benches make.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Input size in bytes per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Hint for how `iter_batched` should amortize setup; accepted for API
+/// compatibility, the harness always pre-builds one batch per sample.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Few iterations per batch (large per-iteration state).
+    LargeInput,
+    /// Many iterations per batch (small per-iteration state).
+    SmallInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Timing statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Median across samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Mean across samples.
+    pub mean_ns: f64,
+}
+
+/// Measures one benchmark body over calibrated samples.
+pub struct Bencher {
+    sample_size: usize,
+    stats: Option<Stats>,
+}
+
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(1);
+const MAX_CALIBRATION_ITERS: u64 = 1 << 22;
+
+impl Bencher {
+    /// Times `f`, excluding nothing; the routine's return value is passed
+    /// through `black_box` so it is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: double the batch until one batch takes long enough to
+        // time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || iters >= MAX_CALIBRATION_ITERS {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.stats = Some(summarize(&mut samples));
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup cost is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate with a small fixed batch (setup may be expensive).
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 12 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.stats = Some(summarize(&mut samples));
+    }
+}
+
+fn summarize(samples: &mut [f64]) -> Stats {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let min_ns = samples.first().copied().unwrap_or(0.0);
+    let median_ns = samples[samples.len() / 2];
+    let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+    Stats {
+        median_ns,
+        min_ns,
+        mean_ns,
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates the group with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark and prints its result.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            stats: None,
+        };
+        f(&mut bencher);
+        let stats = bencher.stats.unwrap_or_default();
+        let full_name = format!("{}/{}", self.name, id);
+        self.criterion.record(&full_name, stats, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; results print as they
+    /// complete).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    /// All results recorded so far, in execution order.
+    results: Vec<(String, Stats)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+
+    /// Results recorded so far (name, statistics), in execution order.
+    #[must_use]
+    pub fn results(&self) -> &[(String, Stats)] {
+        &self.results
+    }
+
+    fn record(&mut self, name: &str, stats: Stats, throughput: Option<Throughput>) {
+        let mut line = format!(
+            "{name:<50} median {:>12.1} ns/iter  (min {:.1}, mean {:.1})",
+            stats.median_ns, stats.min_ns, stats.mean_ns
+        );
+        if let Some(Throughput::Bytes(bytes)) = throughput {
+            if stats.median_ns > 0.0 {
+                let gib_s = bytes as f64 / stats.median_ns; // bytes/ns == GB/s
+                line.push_str(&format!("  {gib_s:>8.3} GB/s"));
+            }
+        }
+        println!("{line}");
+        self.results.push((name.to_string(), stats));
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_positive_timings() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+        let results = c.results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, "smoke/sum");
+        assert!(results[0].1.median_ns > 0.0);
+        assert!(results[0].1.min_ns <= results[0].1.median_ns);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("reverse", |b| {
+            b.iter_batched(
+                || (0..64u32).collect::<Vec<_>>(),
+                |mut v| {
+                    v.reverse();
+                    v
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+        assert!(c.results()[0].1.median_ns > 0.0);
+    }
+}

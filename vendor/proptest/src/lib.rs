@@ -1,0 +1,753 @@
+//! Vendored stand-in for the `proptest` API surface this workspace uses.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the panic directly; the
+//!   values that triggered it appear in the assertion message instead of a
+//!   minimized counterexample.
+//! * **Deterministic seeding.** Case `i` of every test derives its RNG from
+//!   a fixed base seed and `i`, so runs are reproducible by construction
+//!   (no persistence files needed).
+//! * **Regex subset.** String strategies support the subset the workspace
+//!   uses: literals, `.`, character classes (ranges + `\xNN`/control
+//!   escapes), groups, and `{m}`/`{m,n}`/`?`/`*`/`+` quantifiers. No
+//!   alternation outside classes.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic RNG and run-loop plumbing.
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` random cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A small deterministic generator (splitmix64) for strategy sampling.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for one test case; the stream depends only on
+        /// `case_index`.
+        #[must_use]
+        pub fn for_case(case_index: u64) -> Self {
+            TestRng {
+                state: 0x51ED_C0DE_2022_0000 ^ case_index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `bound == 0`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling bound");
+            if bound.is_power_of_two() {
+                return self.next_u64() & (bound - 1);
+            }
+            let zone = u64::MAX - (u64::MAX % bound) - 1;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+    }
+
+    /// Drives a property body over `config.cases` deterministic cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Builds a runner with the given configuration.
+        #[must_use]
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `case` once per configured case with a fresh deterministic
+        /// RNG each time.
+        pub fn run_cases(&mut self, mut case: impl FnMut(&mut TestRng)) {
+            for i in 0..self.config.cases {
+                let mut rng = TestRng::for_case(u64::from(i));
+                case(&mut rng);
+            }
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `options` must be non-empty.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let off = rng.below(span);
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy over `T`'s full value range.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive-exclusive length bounds for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                start: len,
+                end: len + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Generation of strings matching a regex subset.
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// A repetition bound attached to an atom.
+    #[derive(Clone, Copy, Debug)]
+    struct Quant {
+        min: usize,
+        max: usize,
+    }
+
+    const UNBOUNDED_CAP: usize = 8;
+
+    #[derive(Clone, Debug)]
+    enum Atom {
+        Literal(char),
+        /// `.` — any printable character (no newline).
+        Any,
+        /// A character class as inclusive ranges.
+        Class(Vec<(char, char)>),
+        Group(Vec<(Atom, Quant)>),
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+        pattern: &'a str,
+    }
+
+    impl<'a> Parser<'a> {
+        fn fail(&self, what: &str) -> ! {
+            panic!("unsupported regex strategy {:?}: {what}", self.pattern);
+        }
+
+        fn sequence(&mut self, in_group: bool) -> Vec<(Atom, Quant)> {
+            let mut out = Vec::new();
+            loop {
+                match self.chars.peek().copied() {
+                    None => {
+                        if in_group {
+                            self.fail("unterminated group");
+                        }
+                        return out;
+                    }
+                    Some(')') if in_group => {
+                        self.chars.next();
+                        return out;
+                    }
+                    Some(_) => {
+                        let atom = self.atom();
+                        let quant = self.quantifier();
+                        out.push((atom, quant));
+                    }
+                }
+            }
+        }
+
+        fn atom(&mut self) -> Atom {
+            match self.chars.next() {
+                Some('.') => Atom::Any,
+                Some('[') => Atom::Class(self.class_body()),
+                Some('(') => Atom::Group(self.sequence(true)),
+                Some('\\') => Atom::Literal(self.escape()),
+                Some(c @ (')' | ']' | '{' | '}' | '?' | '*' | '+' | '|')) => {
+                    self.fail(&format!("unexpected `{c}`"))
+                }
+                Some(c) => Atom::Literal(c),
+                None => self.fail("empty atom"),
+            }
+        }
+
+        fn escape(&mut self) -> char {
+            match self.chars.next() {
+                Some('n') => '\n',
+                Some('r') => '\r',
+                Some('t') => '\t',
+                Some('x') => {
+                    let hi = self.hex_digit();
+                    let lo = self.hex_digit();
+                    char::from_u32(hi * 16 + lo).unwrap_or_else(|| self.fail("bad \\x escape"))
+                }
+                Some(
+                    c @ ('\\' | '.' | '[' | ']' | '(' | ')' | '{' | '}' | '?' | '*' | '+' | '|'
+                    | '-' | ' '),
+                ) => c,
+                Some(c) => self.fail(&format!("unsupported escape \\{c}")),
+                None => self.fail("dangling backslash"),
+            }
+        }
+
+        fn hex_digit(&mut self) -> u32 {
+            self.chars
+                .next()
+                .and_then(|c| c.to_digit(16))
+                .unwrap_or_else(|| self.fail("bad hex digit"))
+        }
+
+        fn class_body(&mut self) -> Vec<(char, char)> {
+            let mut ranges = Vec::new();
+            loop {
+                let lo = match self.chars.next() {
+                    None => self.fail("unterminated class"),
+                    Some(']') => {
+                        if ranges.is_empty() {
+                            self.fail("empty class");
+                        }
+                        return ranges;
+                    }
+                    Some('\\') => self.escape(),
+                    Some(c) => c,
+                };
+                // `x-y` is a range unless `-` is the last char before `]`.
+                if self.chars.peek() == Some(&'-') {
+                    let mut ahead = self.chars.clone();
+                    ahead.next();
+                    if ahead.peek().is_some_and(|&c| c != ']') {
+                        self.chars.next(); // consume `-`
+                        let hi = match self.chars.next() {
+                            Some('\\') => self.escape(),
+                            Some(c) => c,
+                            None => self.fail("unterminated range"),
+                        };
+                        if lo > hi {
+                            self.fail("inverted class range");
+                        }
+                        ranges.push((lo, hi));
+                        continue;
+                    }
+                }
+                ranges.push((lo, lo));
+            }
+        }
+
+        fn quantifier(&mut self) -> Quant {
+            match self.chars.peek().copied() {
+                Some('?') => {
+                    self.chars.next();
+                    Quant { min: 0, max: 1 }
+                }
+                Some('*') => {
+                    self.chars.next();
+                    Quant {
+                        min: 0,
+                        max: UNBOUNDED_CAP,
+                    }
+                }
+                Some('+') => {
+                    self.chars.next();
+                    Quant {
+                        min: 1,
+                        max: UNBOUNDED_CAP,
+                    }
+                }
+                Some('{') => {
+                    self.chars.next();
+                    let min = self.number();
+                    let max = match self.chars.next() {
+                        Some('}') => min,
+                        Some(',') => {
+                            let max = self.number();
+                            match self.chars.next() {
+                                Some('}') => max,
+                                _ => self.fail("unterminated quantifier"),
+                            }
+                        }
+                        _ => self.fail("malformed quantifier"),
+                    };
+                    if min > max {
+                        self.fail("inverted quantifier");
+                    }
+                    Quant { min, max }
+                }
+                _ => Quant { min: 1, max: 1 },
+            }
+        }
+
+        fn number(&mut self) -> usize {
+            let mut digits = String::new();
+            while let Some(c) = self.chars.peek() {
+                if c.is_ascii_digit() {
+                    digits.push(*c);
+                    self.chars.next();
+                } else {
+                    break;
+                }
+            }
+            digits
+                .parse()
+                .unwrap_or_else(|_| self.fail("expected number"))
+        }
+    }
+
+    /// Occasional non-ASCII picks for `.` so char-boundary handling gets
+    /// exercised.
+    const WIDE_CHARS: [char; 6] = ['é', 'ü', 'Ω', '→', '☂', '😀'];
+
+    fn emit(atoms: &[(Atom, Quant)], rng: &mut TestRng, out: &mut String) {
+        for (atom, quant) in atoms {
+            let span = (quant.max - quant.min) as u64;
+            let reps = quant.min
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span + 1) as usize
+                };
+            for _ in 0..reps {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Any => {
+                        if rng.below(16) == 0 {
+                            out.push(WIDE_CHARS[rng.below(WIDE_CHARS.len() as u64) as usize]);
+                        } else {
+                            // Printable ASCII 0x20..=0x7e.
+                            out.push(char::from(0x20 + rng.below(0x5f) as u8));
+                        }
+                    }
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|&(lo, hi)| u64::from(hi as u32 - lo as u32) + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for &(lo, hi) in ranges {
+                            let width = u64::from(hi as u32 - lo as u32) + 1;
+                            if pick < width {
+                                let c = char::from_u32(lo as u32 + pick as u32)
+                                    .expect("class range stays in valid chars");
+                                out.push(c);
+                                break;
+                            }
+                            pick -= width;
+                        }
+                    }
+                    Atom::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern` (see module docs for the
+    /// supported subset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` uses syntax outside the supported subset.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let mut parser = Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        };
+        let atoms = parser.sequence(false);
+        let mut out = String::new();
+        emit(&atoms, rng, &mut out);
+        out
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced module access, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner.run_cases(|__proptest_rng| {
+                $(let $parm = $crate::strategy::Strategy::generate(&($strategy), __proptest_rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..200 {
+            let s = crate::string::generate_matching("[A-Za-z][A-Za-z0-9 ]{0,40}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 41 + 1);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+
+            let t = crate::string::generate_matching("[\\x20-\\x7e\\n\\x0c]{0,20}", &mut rng);
+            assert!(t
+                .chars()
+                .all(|c| ('\x20'..='\x7e').contains(&c) || c == '\n' || c == '\x0c'));
+
+            let g = crate::string::generate_matching("[a-c]{1,3}( [a-c]{1,3}){0,2}", &mut rng);
+            for word in g.split(' ') {
+                assert!((1..=3).contains(&word.len()), "{g:?}");
+                assert!(word.chars().all(|c| ('a'..='c').contains(&c)));
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_per_case_index() {
+        let mut a = TestRng::for_case(5);
+        let mut b = TestRng::for_case(5);
+        let sa = crate::string::generate_matching(".{0,40}", &mut a);
+        let sb = crate::string::generate_matching(".{0,40}", &mut b);
+        assert_eq!(sa, sb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_compose(a in 0usize..10, pair in ((1u32..4), (0i64..3))) {
+            prop_assert!(a < 10);
+            prop_assert!((1..4).contains(&pair.0));
+            prop_assert!((0..3).contains(&pair.1));
+        }
+
+        #[test]
+        fn oneof_vec_and_map_work(
+            v in prop::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 0..5),
+            flag in any::<bool>(),
+            trailing in 0usize..3,
+        ) {
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 2));
+            let _ = flag;
+            let mapped = (0usize..4).prop_map(|x| x * 2);
+            let m = Strategy::generate(&mapped, &mut TestRng::for_case(trailing as u64));
+            prop_assert!(m % 2 == 0 && m < 8);
+        }
+    }
+}

@@ -1,0 +1,657 @@
+//! Vendored stand-in for `serde`, built from scratch for offline use.
+//!
+//! The real `serde` streams values through a `Serializer`/`Deserializer`
+//! pair; this stub routes everything through an owned [`Value`] tree
+//! instead, which is all the workspace needs (its only data format is
+//! JSON, provided by the sibling `serde_json` stub). The public surface
+//! mirrors the subset of serde the workspace uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on structs and enums (via the
+//!   sibling `serde_derive` proc-macro crate, re-exported under the
+//!   `derive` feature);
+//! * the `#[serde(default)]` field attribute;
+//! * `Serialize`/`Deserialize` implementations for the standard types the
+//!   workspace serializes (integers, floats, `bool`, `char`, strings,
+//!   tuples, arrays, `Vec`, `Option`, `Box`, and string-keyed maps).
+//!
+//! The traits themselves are intentionally simpler than upstream serde:
+//! `Serialize::to_value` and `Deserialize::from_value` convert to and from
+//! [`Value`]. Hand-written impls (e.g. `CategorySet` in the model crate)
+//! implement these two methods directly.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing tree value: the JSON data model.
+///
+/// Object fields keep insertion order (like streaming serializers do), so
+/// struct round-trips are byte-stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Value {
+    /// The fields of an object, if this is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+    }
+
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        DeError {
+            message: message.to_string(),
+        }
+    }
+
+    /// Creates a "expected X, found Y" mismatch error.
+    pub fn mismatch(expected: &str, found: &Value) -> Self {
+        DeError::custom(format!("expected {expected}, found {}", found.kind()))
+    }
+
+    /// Creates a missing-field error.
+    pub fn missing(field: &str) -> Self {
+        DeError::custom(format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] naming the first shape mismatch.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Called by derived struct impls when a field is absent.
+    ///
+    /// The default errors; `Option` overrides it to produce `None`, which
+    /// mirrors upstream serde's treatment of optional fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a missing-field [`DeError`] unless overridden.
+    fn missing_field(field: &'static str) -> Result<Self, DeError> {
+        Err(DeError::missing(field))
+    }
+}
+
+/// Compatibility alias module mirroring `serde::de`.
+pub mod de {
+    pub use crate::DeError as Error;
+
+    /// Owned deserialization — identical to [`crate::Deserialize`] in this
+    /// value-based implementation.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(u64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(Number::PosInt(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range"))),
+                    other => Err(DeError::mismatch("unsigned integer", other)),
+                }
+            }
+        }
+    )+};
+}
+impl_unsigned!(u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::PosInt(*self))
+    }
+}
+impl Deserialize for u64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Number(Number::PosInt(n)) => Ok(*n),
+            other => Err(DeError::mismatch("unsigned integer", other)),
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::PosInt(*self as u64))
+    }
+}
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        u64::from_value(value).and_then(|n| {
+            usize::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range")))
+        })
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v < 0 {
+                    Value::Number(Number::NegInt(v))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: i64 = match value {
+                    Value::Number(Number::PosInt(n)) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range")))?,
+                    Value::Number(Number::NegInt(n)) => *n,
+                    other => return Err(DeError::mismatch("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::custom(format!("{wide} out of range")))
+            }
+        }
+    )+};
+}
+impl_signed!(i8, i16, i32);
+
+impl Serialize for i64 {
+    fn to_value(&self) -> Value {
+        if *self < 0 {
+            Value::Number(Number::NegInt(*self))
+        } else {
+            Value::Number(Number::PosInt(*self as u64))
+        }
+    }
+}
+impl Deserialize for i64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Number(Number::PosInt(n)) => {
+                i64::try_from(*n).map_err(|_| DeError::custom(format!("{n} out of range")))
+            }
+            Value::Number(Number::NegInt(n)) => Ok(*n),
+            other => Err(DeError::mismatch("integer", other)),
+        }
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        i64::from_value(value).and_then(|n| {
+            isize::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range")))
+        })
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Number(Number::Float(x)) => Ok(*x),
+            Value::Number(Number::PosInt(n)) => Ok(*n as f64),
+            Value::Number(Number::NegInt(n)) => Ok(*n as f64),
+            other => Err(DeError::mismatch("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::mismatch("boolean", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::mismatch("single-character string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom(format!(
+                "expected single-character string, found {s:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::mismatch("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::mismatch("null", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference / container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &'static str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::mismatch("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let vec = Vec::<T>::from_value(value)?;
+        let len = vec.len();
+        <[T; N]>::try_from(vec)
+            .map_err(|_| DeError::custom(format!("expected array of {N} elements, found {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                const ARITY: usize = [$($idx as usize),+].len();
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeError::mismatch("tuple array", value))?;
+                if items.len() != ARITY {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {ARITY}, found array of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::mismatch("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so serialization is deterministic, like a BTreeMap.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::mismatch("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Support machinery for `serde_derive`-generated code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Looks up a struct field by name in an object's field list.
+    pub fn find<'v>(fields: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+        fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Deserializes a field, routing absence through
+    /// [`Deserialize::missing_field`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the field's deserialization error.
+    pub fn field<T: Deserialize>(
+        fields: &[(String, Value)],
+        name: &'static str,
+    ) -> Result<T, DeError> {
+        match find(fields, name) {
+            Some(value) => {
+                T::from_value(value).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+            }
+            None => T::missing_field(name),
+        }
+    }
+
+    /// Deserializes a field, substituting `Default::default()` when absent
+    /// (the `#[serde(default)]` attribute).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the field's deserialization error.
+    pub fn field_or_default<T: Deserialize + Default>(
+        fields: &[(String, Value)],
+        name: &'static str,
+    ) -> Result<T, DeError> {
+        match find(fields, name) {
+            Some(value) => {
+                T::from_value(value).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+            }
+            None => Ok(T::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn numbers_cross_convert() {
+        // An integral float parses as int; ints deserialize into f64.
+        assert_eq!(
+            f64::from_value(&Value::Number(Number::PosInt(3))).unwrap(),
+            3.0
+        );
+        assert_eq!(
+            f64::from_value(&Value::Number(Number::NegInt(-3))).unwrap(),
+            -3.0
+        );
+    }
+
+    #[test]
+    fn option_missing_field_is_none() {
+        assert_eq!(Option::<u32>::missing_field("x").unwrap(), None);
+        assert!(u32::missing_field("x").is_err());
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let round: Vec<(u32, String)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(round, v);
+
+        let mut map = BTreeMap::new();
+        map.insert("k".to_string(), 9u64);
+        let round: BTreeMap<String, u64> = Deserialize::from_value(&map.to_value()).unwrap();
+        assert_eq!(round, map);
+    }
+
+    #[test]
+    fn mismatches_are_reported() {
+        let err = u32::from_value(&Value::String("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected unsigned integer"));
+        let err = Vec::<u32>::from_value(&Value::Null).unwrap_err();
+        assert!(err.to_string().contains("expected array"));
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let big = Value::Number(Number::PosInt(u64::MAX));
+        assert!(u8::from_value(&big).is_err());
+        assert!(i64::from_value(&big).is_err());
+    }
+}

@@ -1,0 +1,491 @@
+//! Vendored stand-in for `serde_derive`, written against the value-based
+//! `serde` stub in `vendor/serde`.
+//!
+//! Supports the shapes this workspace actually derives:
+//!
+//! * structs with named fields (including one generic type parameter per
+//!   struct, e.g. `VendorPair<T>`), serialized as objects;
+//! * newtype structs (`UniqueKey(pub u32)`), serialized transparently;
+//! * enums with unit variants (serialized as the variant-name string),
+//!   newtype variants (`{"Variant": value}`), and struct variants
+//!   (`{"Variant": {fields...}}`) — upstream serde's externally-tagged
+//!   representation;
+//! * the `#[serde(default)]` field attribute.
+//!
+//! The implementation parses the item's token stream directly (no `syn`)
+//! and emits the impl as a string, which keeps this crate dependency-free.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    pos += 1;
+
+    let generics = parse_generics(&tokens, &mut pos)?;
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item {
+                    name,
+                    generics,
+                    shape: Shape::NamedStruct(fields),
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                if arity != 1 {
+                    return Err(format!(
+                        "serde stub derive supports only 1-field tuple structs, `{name}` has {arity}"
+                    ));
+                }
+                Ok(Item {
+                    name,
+                    generics,
+                    shape: Shape::NewtypeStruct,
+                })
+            }
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Item {
+                    name,
+                    generics,
+                    shape: Shape::Enum(variants),
+                })
+            }
+            other => Err(format!("expected enum body for `{name}`, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Skips `#[...]` attribute sequences, returning whether any of them was
+/// `#[serde(default)]`.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                has_default |= is_serde_default(g.stream());
+                *pos += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    has_default
+}
+
+fn is_serde_default(attr: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(ref id) if id.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1; // pub(crate) and friends
+                }
+            }
+        }
+    }
+}
+
+/// Parses `<A, B: Bound, ...>` into the list of type-parameter names.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Ok(params),
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        let token = tokens
+            .get(*pos)
+            .ok_or_else(|| "unterminated generics".to_string())?;
+        match token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => expect_param = true,
+                ':' if depth == 1 => expect_param = false,
+                '\'' => {
+                    return Err("serde stub derive does not support lifetimes".to_string());
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 1 && expect_param => {
+                params.push(id.to_string());
+                expect_param = false;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+    Ok(params)
+}
+
+/// Counts top-level fields of a tuple struct body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle = 0isize;
+    let mut field_open = false;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => field_open = false,
+                _ => {
+                    if !field_open {
+                        field_open = true;
+                        arity += 1;
+                    }
+                }
+            },
+            _ => {
+                if !field_open {
+                    field_open = true;
+                    arity += 1;
+                }
+            }
+        }
+    }
+    arity
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let default = skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: tokens until a comma at angle-depth 0.
+        let mut angle = 0isize;
+        while let Some(token) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        pos += 1; // consume the comma (or run off the end)
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                if arity != 1 {
+                    return Err(format!(
+                        "serde stub derive supports only 1-field tuple variants, `{name}` has {arity}"
+                    ));
+                }
+                pos += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume up to and including the variant separator comma
+        // (skipping any `= discriminant` expression).
+        while let Some(token) = tokens.get(pos) {
+            pos += 1;
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `Foo` or `Foo<T>`, plus the matching `impl<...>` parameter list.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let params = item
+            .generics
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let args = item.generics.join(", ");
+        (format!("<{params}>"), format!("{}<{args}>", item.name))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_params, ty) = impl_header(item, "serde::Serialize");
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push(({:?}.to_string(), serde::Serialize::to_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, serde::Value)> = Vec::new();\n{pushes}serde::Value::Object(fields)"
+            )
+        }
+        Shape::NewtypeStruct => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{} => serde::Value::String({:?}.to_string()),\n",
+                        v.name, v.name
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "Self::{}(inner) => serde::Value::Object(vec![({:?}.to_string(), serde::Serialize::to_value(inner))]),\n",
+                        v.name, v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "inner.push(({:?}.to_string(), serde::Serialize::to_value({})));\n",
+                                f.name, f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{} {{ {bindings} }} => {{\nlet mut inner: Vec<(String, serde::Value)> = Vec::new();\n{pushes}serde::Value::Object(vec![({:?}.to_string(), serde::Value::Object(inner))])\n}}\n",
+                            v.name, v.name
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl{impl_params} serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_params, ty) = impl_header(item, "serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let getter = if f.default {
+                    "field_or_default"
+                } else {
+                    "field"
+                };
+                inits.push_str(&format!(
+                    "{}: serde::__private::{getter}(fields, {:?})?,\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "let fields = value.as_object().ok_or_else(|| serde::DeError::mismatch({name:?}, value))?;\n\
+                 Ok(Self {{\n{inits}}})"
+            )
+        }
+        Shape::NewtypeStruct => "serde::Deserialize::from_value(value).map(Self)".to_string(),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{:?} => Ok(Self::{}),\n", v.name, v.name))
+                    }
+                    VariantKind::Newtype => data_arms.push_str(&format!(
+                        "{:?} => Ok(Self::{}(serde::Deserialize::from_value(inner)?)),\n",
+                        v.name, v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let getter = if f.default {
+                                "field_or_default"
+                            } else {
+                                "field"
+                            };
+                            inits.push_str(&format!(
+                                "{}: serde::__private::{getter}(fields, {:?})?,\n",
+                                f.name, f.name
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "{:?} => {{\nlet fields = inner.as_object().ok_or_else(|| serde::DeError::mismatch(\"variant object\", inner))?;\nOk(Self::{} {{\n{inits}}})\n}}\n",
+                            v.name, v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 serde::Value::String(tag) => match tag.as_str() {{\n{unit_arms}\
+                 other => Err(serde::DeError::custom(format!(\"unknown {name} variant {{other:?}}\"))),\n}},\n\
+                 serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = (&fields[0].0, &fields[0].1);\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err(serde::DeError::custom(format!(\"unknown {name} variant {{other:?}}\"))),\n}}\n}},\n\
+                 other => Err(serde::DeError::mismatch({name:?}, other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl{impl_params} serde::Deserialize for {ty} {{\n\
+         fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
