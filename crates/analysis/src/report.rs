@@ -85,34 +85,81 @@ impl FullReport {
         defects: Option<ExtractionReport>,
     ) -> Self {
         let _span = rememberr_obs::span!("analysis.full_report");
+        // Every figure reads the database immutably and independently, so
+        // the passes fan out over four balanced worker lanes; each figure's
+        // result lands in its named field regardless of lane scheduling.
+        // With one job the lanes run sequentially in order.
+        let (
+            (stats, fig02, fig03, fig04, fig05),
+            (fig06, fig07, fig08, fig09, fig10, fig11),
+            (fig12, fig13, fig14, fig15, fig16),
+            (fig17, fig18, fig19, observations),
+        ) = rememberr_par::join4(
+            || {
+                (
+                    timed("analysis.corpus_stats", || corpus_stats(db)),
+                    timed("analysis.fig02", || {
+                        Vendor::ALL
+                            .iter()
+                            .map(|&v| (v, fig02_disclosure_timeline(db, v)))
+                            .collect()
+                    }),
+                    timed("analysis.fig03", || fig03_heredity(db)),
+                    timed("analysis.fig04", || fig04_shared_set_timeline(db)),
+                    timed("analysis.fig05", || fig05_latency(db)),
+                )
+            },
+            || {
+                (
+                    timed("analysis.fig06", || fig06_workarounds(db)),
+                    timed("analysis.fig07", || fig07_fixes(db)),
+                    timed("analysis.fig08", || {
+                        four_eyes.map(fig08_classification_steps)
+                    }),
+                    timed("analysis.fig09", || four_eyes.map(fig09_agreement)),
+                    timed("analysis.fig10", || fig10_trigger_frequency(db, 10)),
+                    timed("analysis.fig11", || fig11_trigger_counts(db)),
+                )
+            },
+            || {
+                (
+                    timed("analysis.fig12", || fig12_trigger_correlation(db)),
+                    timed("analysis.fig13", || fig13_class_evolution(db)),
+                    timed("analysis.fig14", || fig14_class_share(db)),
+                    timed("analysis.fig15", || fig15_external_breakdown(db)),
+                    timed("analysis.fig16", || fig16_feature_breakdown(db)),
+                )
+            },
+            || {
+                (
+                    timed("analysis.fig17", || fig17_context_frequency(db, 10)),
+                    timed("analysis.fig18", || fig18_effect_frequency(db, 10)),
+                    timed("analysis.fig19", || fig19_msr_witnesses(db, 8)),
+                    timed("analysis.observations", || observations(db)),
+                )
+            },
+        );
         Self {
-            stats: timed("analysis.corpus_stats", || corpus_stats(db)),
-            fig02: timed("analysis.fig02", || {
-                Vendor::ALL
-                    .iter()
-                    .map(|&v| (v, fig02_disclosure_timeline(db, v)))
-                    .collect()
-            }),
-            fig03: timed("analysis.fig03", || fig03_heredity(db)),
-            fig04: timed("analysis.fig04", || fig04_shared_set_timeline(db)),
-            fig05: timed("analysis.fig05", || fig05_latency(db)),
-            fig06: timed("analysis.fig06", || fig06_workarounds(db)),
-            fig07: timed("analysis.fig07", || fig07_fixes(db)),
-            fig08: timed("analysis.fig08", || {
-                four_eyes.map(fig08_classification_steps)
-            }),
-            fig09: timed("analysis.fig09", || four_eyes.map(fig09_agreement)),
-            fig10: timed("analysis.fig10", || fig10_trigger_frequency(db, 10)),
-            fig11: timed("analysis.fig11", || fig11_trigger_counts(db)),
-            fig12: timed("analysis.fig12", || fig12_trigger_correlation(db)),
-            fig13: timed("analysis.fig13", || fig13_class_evolution(db)),
-            fig14: timed("analysis.fig14", || fig14_class_share(db)),
-            fig15: timed("analysis.fig15", || fig15_external_breakdown(db)),
-            fig16: timed("analysis.fig16", || fig16_feature_breakdown(db)),
-            fig17: timed("analysis.fig17", || fig17_context_frequency(db, 10)),
-            fig18: timed("analysis.fig18", || fig18_effect_frequency(db, 10)),
-            fig19: timed("analysis.fig19", || fig19_msr_witnesses(db, 8)),
-            observations: timed("analysis.observations", || observations(db)),
+            stats,
+            fig02,
+            fig03,
+            fig04,
+            fig05,
+            fig06,
+            fig07,
+            fig08,
+            fig09,
+            fig10,
+            fig11,
+            fig12,
+            fig13,
+            fig14,
+            fig15,
+            fig16,
+            fig17,
+            fig18,
+            fig19,
+            observations,
             defects,
         }
     }

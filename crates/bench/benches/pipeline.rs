@@ -1,14 +1,18 @@
 //! Pipeline-stage benchmarks: corpus generation, rendering, extraction,
-//! deduplication, classification and persistence.
+//! deduplication, classification and persistence — plus the `parallel`
+//! group, which sweeps the worker count over the stages the parallel
+//! execution layer fans out.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::num::NonZeroUsize;
 
 use rememberr::{assign_keys, load, save, Database, DbEntry, DedupStrategy};
 use rememberr_bench::{paper_corpus, paper_db, small_corpus};
 use rememberr_classify::{classify_database, classify_erratum, FourEyesConfig, HumanOracle, Rules};
 use rememberr_docgen::{render_document, CorpusSpec, SyntheticCorpus};
-use rememberr_extract::extract_document;
+use rememberr_extract::{extract_corpus, extract_document};
+use rememberr_model::Design;
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generation");
@@ -133,6 +137,48 @@ fn bench_small_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel(c: &mut Criterion) {
+    // Worker-count sweep over the two heaviest fan-out stages, at paper
+    // scale: full-corpus extraction (28 documents, 2,563 errata) and the
+    // dedup cascade. jobs=1 is the sequential baseline; output is
+    // byte-identical at every point of the sweep (see the determinism
+    // suite), so the sweep measures pure throughput.
+    let corpus = paper_corpus();
+    let rendered: Vec<(Design, &str)> = corpus
+        .rendered
+        .iter()
+        .map(|r| (r.design, r.text.as_str()))
+        .collect();
+    let entries: Vec<DbEntry> = paper_db().entries().to_vec();
+
+    let max_jobs = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let mut sweep = vec![1usize, 2, max_jobs];
+    sweep.sort_unstable();
+    sweep.dedup();
+
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    for &jobs in &sweep {
+        rememberr_par::set_jobs(NonZeroUsize::new(jobs));
+        group.bench_function(&format!("extract_corpus_paper_jobs{jobs}"), |b| {
+            b.iter(|| black_box(extract_corpus(rendered.iter().copied()).expect("extracts")))
+        });
+        group.bench_function(&format!("dedup_assign_keys_jobs{jobs}"), |b| {
+            b.iter_batched(
+                || entries.clone(),
+                |mut e| black_box(assign_keys(&mut e, DedupStrategy::default())),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(&format!("generate_corpus_paper_jobs{jobs}"), |b| {
+            let spec = CorpusSpec::paper();
+            b.iter(|| black_box(SyntheticCorpus::generate(&spec)))
+        });
+    }
+    rememberr_par::set_jobs(None);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_generation,
@@ -140,6 +186,7 @@ criterion_group!(
     bench_dedup,
     bench_classification,
     bench_persistence,
-    bench_small_end_to_end
+    bench_small_end_to_end,
+    bench_parallel
 );
 criterion_main!(benches);

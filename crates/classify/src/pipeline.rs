@@ -101,9 +101,17 @@ pub fn classify_database(
         HumanOracle::None => HashMap::new(),
     };
 
-    for (id, key) in &representatives {
+    // Rule classification is pure per representative, so it fans out across
+    // workers; everything order-sensitive below (annotation bookkeeping,
+    // human-item collection, the seeded four-eyes simulation) consumes the
+    // results sequentially in representative order, keeping the run
+    // identical at every worker count.
+    let autos = rememberr_par::par_map(&representatives, |(id, _)| {
         let entry = db.entry(*id).expect("representative exists");
-        let auto = classify_erratum(rules, &entry.erratum);
+        classify_erratum(rules, &entry.erratum)
+    });
+
+    for ((id, key), auto) in representatives.iter().zip(autos) {
         auto_decided += auto.auto_decided;
         annotations.insert(*key, auto.annotation);
 

@@ -68,6 +68,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "effects",
     "metrics",
     "metrics-out",
+    "jobs",
 ];
 
 /// Parses a raw argument list (without the program name).
@@ -144,6 +145,24 @@ impl ParsedArgs {
     pub fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
     }
+
+    /// The `--jobs N` worker count, if given.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `0` and non-numeric values: the worker count must be a
+    /// positive integer (`1` selects the true sequential path).
+    pub fn jobs(&self) -> Result<Option<std::num::NonZeroUsize>, String> {
+        match self.get("jobs") {
+            None => Ok(None),
+            Some(text) => text
+                .parse::<std::num::NonZeroUsize>()
+                .map(Some)
+                .map_err(|_| {
+                    format!("invalid value for --jobs: {text:?} (expected a positive integer)")
+                }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +234,25 @@ mod tests {
         assert_eq!(parsed.get_parsed("seed", 7u64).unwrap(), 7);
         let bad = parse(["generate", "--scale", "abc"]).unwrap();
         assert!(bad.get_parsed("scale", 1.0).is_err());
+    }
+
+    #[test]
+    fn jobs_accepts_positive_rejects_zero_and_garbage() {
+        let parsed = parse(["extract", "--docs", "d", "--out", "o", "--jobs", "4"]).unwrap();
+        assert_eq!(
+            parsed.jobs().unwrap().map(std::num::NonZeroUsize::get),
+            Some(4)
+        );
+        assert_eq!(
+            parse(["extract", "--docs", "d"]).unwrap().jobs().unwrap(),
+            None
+        );
+        let zero = parse(["extract", "--jobs", "0"]).unwrap();
+        assert!(zero.jobs().unwrap_err().contains("--jobs"));
+        let garbage = parse(["extract", "--jobs", "many"]).unwrap();
+        assert!(garbage.jobs().unwrap_err().contains("positive integer"));
+        let negative = parse(["extract", "--jobs", "-2"]).unwrap();
+        assert!(negative.jobs().unwrap_err().contains("-2"));
     }
 
     #[test]

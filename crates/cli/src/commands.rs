@@ -64,21 +64,31 @@ pub fn cmd_extract(args: &ParsedArgs) -> CmdResult {
         .ok_or("extract needs --out DB.jsonl")?
         .into();
 
-    let mut documents = Vec::new();
-    let mut defect_total = 0usize;
+    // Read the page streams sequentially (I/O), then fan the CPU-heavy
+    // parsing out across workers; results come back in input (Design::ALL)
+    // order, so the database is identical at every worker count, and the
+    // first failing document (in that order) wins deterministically.
+    let mut inputs: Vec<(Design, PathBuf, String)> = Vec::new();
     for design in Design::ALL {
         let path = docs_dir.join(format!("{}.txt", design.reference()));
         if !path.exists() {
             continue;
         }
         let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let extracted =
-            extract_document(design, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+        inputs.push((design, path, text));
+    }
+    if inputs.is_empty() {
+        return Err(format!("no documents found in {}", docs_dir.display()));
+    }
+    let extracted = rememberr_par::par_map(&inputs, |(design, path, text)| {
+        extract_document(*design, text).map_err(|e| format!("{}: {e}", path.display()))
+    });
+    let mut documents = Vec::with_capacity(inputs.len());
+    let mut defect_total = 0usize;
+    for result in extracted {
+        let extracted = result?;
         defect_total += extracted.report.total();
         documents.push(extracted.document);
-    }
-    if documents.is_empty() {
-        return Err(format!("no documents found in {}", docs_dir.display()));
     }
 
     let db = Database::from_documents(&documents);
@@ -303,12 +313,21 @@ USAGE:
 OBSERVABILITY (any command):
   --trace              print the span tree of the run to stderr
   --metrics-out FILE   write a JSON metrics snapshot after the run
+
+PARALLELISM (any command):
+  --jobs N             worker threads for parallel stages (default: all
+                       cores; 1 = sequential). Output is identical at any
+                       worker count.
 "
     .to_string()
 }
 
 /// Dispatches a parsed command.
 pub fn run(args: &ParsedArgs) -> CmdResult {
+    // Worker count for every parallel stage this command reaches (docgen
+    // rendering, extraction, the dedup cascade, classification, analysis).
+    // Validated up front so `--jobs 0`/garbage fails before any work.
+    rememberr_par::set_jobs(args.jobs()?);
     // Root span of the trace tree: every stage span nests under the
     // command that triggered it.
     let _span = rememberr_obs::span_with_detail("cli.run", args.command.clone());

@@ -18,6 +18,11 @@
 //!
 //! Collection is disabled unless one of the two is given, so normal runs
 //! pay only a relaxed atomic load per instrumentation point.
+//!
+//! Every command also accepts `--jobs N`, the worker-thread count for the
+//! parallel pipeline stages (default: all available cores). Databases,
+//! dedup statistics, and metric counter sections are byte-identical at any
+//! worker count; `--jobs 1` runs the true sequential path.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -167,6 +167,66 @@ fn pipeline_roundtrip_with_metrics_and_trace() {
 }
 
 #[test]
+fn jobs_rejects_zero_and_non_numeric() {
+    for bad in ["0", "many", "-2", "1.5"] {
+        let out = run(&["extract", "--docs", "x", "--out", "y", "--jobs", bad]);
+        assert!(!out.status.success(), "--jobs {bad} was accepted");
+        let err = stderr(&out);
+        assert!(err.contains("invalid value for --jobs"), "{err}");
+    }
+}
+
+#[test]
+fn jobs_runs_are_byte_identical() {
+    let dir = tmp("jobs-corpus");
+    let out = run(&[
+        "generate",
+        "--out",
+        dir.to_str().unwrap(),
+        "--scale",
+        "0.08",
+        "--seed",
+        "11",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // The same seeded corpus, extracted at three worker counts: database
+    // bytes and metric counter sections must be identical (durations are
+    // wall clock and may differ).
+    let mut baseline: Option<(Vec<u8>, String)> = None;
+    for jobs in ["1", "2", "8"] {
+        let db = tmp(&format!("jobs{jobs}-db.jsonl"));
+        let metrics = tmp(&format!("jobs{jobs}-metrics.json"));
+        let out = run(&[
+            "extract",
+            "--docs",
+            dir.to_str().unwrap(),
+            "--out",
+            db.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--jobs",
+            jobs,
+        ]);
+        assert!(out.status.success(), "--jobs {jobs}: {}", stderr(&out));
+        let db_bytes = fs::read(&db).unwrap();
+        let snap: rememberr_obs::Snapshot =
+            serde_json::from_str(&fs::read_to_string(&metrics).unwrap()).unwrap();
+        let counters = snap.counters_json();
+        match &baseline {
+            None => baseline = Some((db_bytes, counters)),
+            Some((want_db, want_counters)) => {
+                assert_eq!(&db_bytes, want_db, "database differs at --jobs {jobs}");
+                assert_eq!(&counters, want_counters, "counters differ at --jobs {jobs}");
+            }
+        }
+        let _ = fs::remove_file(&db);
+        let _ = fs::remove_file(&metrics);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn metrics_disabled_runs_emit_nothing() {
     // Without --trace/--metrics-out the run must not print a trace.
     let out = run(&["help"]);

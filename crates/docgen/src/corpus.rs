@@ -56,10 +56,11 @@ impl SyntheticCorpus {
         let _span = rememberr_obs::span!("docgen.generate");
         spec.validate()?;
         let AssembledCorpus { documents, truth } = assemble(spec);
-        let rendered: Vec<_> = documents
-            .iter()
-            .map(|doc| render_document(doc, &truth.defects))
-            .collect();
+        // Rendering is pure per document (all randomness happened during
+        // assembly), so documents fan out across workers; par_map returns
+        // them in input order, keeping `rendered` aligned with `structured`.
+        let rendered: Vec<_> =
+            rememberr_par::par_map(&documents, |doc| render_document(doc, &truth.defects));
         rememberr_obs::count("docgen.documents_rendered", rendered.len() as u64);
         rememberr_obs::count(
             "docgen.errata_planted",

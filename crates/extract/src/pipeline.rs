@@ -70,12 +70,18 @@ pub fn extract_document(design: Design, text: &str) -> Result<ExtractedDocument,
 
 /// Extracts a whole corpus of rendered documents.
 ///
+/// Documents are independent, so extraction fans out across workers;
+/// results come back in input order and the defect reports merge in that
+/// same order, so the output is identical at every worker count.
+///
 /// Returns the structured documents (in input order) and the merged defect
 /// report.
 ///
 /// # Errors
 ///
-/// Fails on the first structurally unparsable document.
+/// Fails with the error of the first (in input order) structurally
+/// unparsable document. Unlike the historical sequential loop, later
+/// documents may already have been parsed when that error is reported.
 pub fn extract_corpus<'a, I>(
     rendered: I,
 ) -> Result<(Vec<ErrataDocument>, ExtractionReport), ExtractError>
@@ -83,10 +89,12 @@ where
     I: IntoIterator<Item = (Design, &'a str)>,
 {
     let _span = rememberr_obs::span!("extract.corpus");
-    let mut documents = Vec::new();
+    let inputs: Vec<(Design, &str)> = rendered.into_iter().collect();
+    let results = rememberr_par::par_map(&inputs, |&(design, text)| extract_document(design, text));
+    let mut documents = Vec::with_capacity(inputs.len());
     let mut report = ExtractionReport::default();
-    for (design, text) in rendered {
-        let extracted = extract_document(design, text)?;
+    for result in results {
+        let extracted = result?;
         documents.push(extracted.document);
         report.merge(extracted.report);
     }

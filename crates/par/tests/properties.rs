@@ -1,0 +1,68 @@
+//! Property tests for the determinism contract: `par_map` preserves input
+//! order at every worker count, and a worker panic always propagates (no
+//! silent item loss).
+
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use rememberr_par::{par_map, par_map_indexed, set_jobs};
+
+/// Both properties mutate the process-global job count; serialize them.
+static GATE: Mutex<()> = Mutex::new(());
+
+proptest! {
+    #[test]
+    fn par_map_equals_sequential_map_at_any_worker_count(
+        items in prop::collection::vec(any::<u32>(), 0..200),
+        jobs in 1usize..9,
+    ) {
+        let _gate = GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        set_jobs(NonZeroUsize::new(jobs));
+        let expected: Vec<u64> = items
+            .iter()
+            .map(|&n| u64::from(n).wrapping_mul(2654435761))
+            .collect();
+        let got = par_map(&items, |&n| u64::from(n).wrapping_mul(2654435761));
+        set_jobs(None);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn par_map_indexed_passes_every_index_once_in_order(
+        len in 0usize..200,
+        jobs in 1usize..9,
+    ) {
+        let _gate = GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        set_jobs(NonZeroUsize::new(jobs));
+        let items: Vec<u8> = vec![0; len];
+        let got = par_map_indexed(&items, |i, _| i);
+        set_jobs(None);
+        prop_assert_eq!(got, (0..len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panics_propagate_at_any_worker_count(
+        len in 1usize..100,
+        poison_seed in any::<usize>(),
+        jobs in 1usize..9,
+    ) {
+        let _gate = GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        set_jobs(NonZeroUsize::new(jobs));
+        let poison = poison_seed % len;
+        let items: Vec<usize> = (0..len).collect();
+        // Silence the default per-panic backtrace spew for this expected
+        // failure; restore afterwards.
+        let prior = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(|| {
+            par_map(&items, |&n| {
+                assert!(n != poison, "poisoned item under test");
+                n
+            })
+        });
+        std::panic::set_hook(prior);
+        set_jobs(None);
+        prop_assert!(result.is_err(), "panic at index {poison} was swallowed");
+    }
+}

@@ -49,6 +49,8 @@ pub use highlight::{highlights, render_ansi, render_markup, Highlight};
 pub use ngram::{char_ngrams, shingle_similarity, token_ngrams};
 pub use normalize::{is_stopword, normalize, normalized_key, stem};
 pub use pattern::{Pattern, PatternError, PatternSet, PreparedText, Span};
-pub use similarity::{cosine, jaccard, levenshtein, levenshtein_similarity, title_similarity};
+pub use similarity::{
+    cosine, jaccard, levenshtein, levenshtein_similarity, title_similarity, TitleKey,
+};
 pub use tokenize::{tokenize, word_tokens, Token, TokenKind};
 pub use wrap::{reflow, reflow_counted, wrap, ReflowStats};

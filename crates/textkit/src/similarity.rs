@@ -101,14 +101,64 @@ pub fn cosine(a: &[String], b: &[String]) -> f64 {
 /// a blend of token Jaccard and character-level Levenshtein similarity on
 /// the normalized keys: Jaccard captures word permutations, Levenshtein
 /// captures near-identical phrasing with small in-word edits.
+///
+/// Normalization dominates the cost of a single comparison; callers scoring
+/// one title against many (the dedup cascade is O(n²) in the worst case)
+/// should precompute a [`TitleKey`] per title instead.
 pub fn title_similarity(a: &str, b: &str) -> f64 {
-    let na = normalize(a);
-    let nb = normalize(b);
-    let j = jaccard(na.iter(), nb.iter());
-    let ka = na.join(" ");
-    let kb = nb.join(" ");
-    let l = levenshtein_similarity(&ka, &kb);
-    0.6 * j + 0.4 * l
+    TitleKey::new(a).similarity(&TitleKey::new(b))
+}
+
+/// A title's precomputed similarity key: its normalized token set and
+/// joined normalized form, computed once so repeated comparisons skip
+/// re-normalization.
+///
+/// `TitleKey::new(a).similarity(&TitleKey::new(b))` equals
+/// `title_similarity(a, b)` exactly; the type only hoists the
+/// tokenize/stopword/stem work out of comparison loops.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TitleKey {
+    /// Distinct normalized tokens (the Jaccard operand).
+    tokens: BTreeSet<String>,
+    /// Normalized tokens joined with single spaces (the Levenshtein operand,
+    /// identical to [`crate::normalized_key`] of the title).
+    joined: String,
+}
+
+impl TitleKey {
+    /// Normalizes `title` once into its comparison key.
+    #[must_use]
+    pub fn new(title: &str) -> Self {
+        let normalized = normalize(title);
+        let joined = normalized.join(" ");
+        Self {
+            tokens: normalized.into_iter().collect(),
+            joined,
+        }
+    }
+
+    /// The joined normalized form — byte-identical to
+    /// [`crate::normalized_key`] of the original title, so it doubles as the
+    /// exact-match clustering key.
+    #[must_use]
+    pub fn joined(&self) -> &str {
+        &self.joined
+    }
+
+    /// Composite similarity against another precomputed key; same blend and
+    /// same result as [`title_similarity`] on the original titles.
+    #[must_use]
+    pub fn similarity(&self, other: &Self) -> f64 {
+        let inter = self.tokens.intersection(&other.tokens).count();
+        let union = self.tokens.len() + other.tokens.len() - inter;
+        let j = if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        };
+        let l = levenshtein_similarity(&self.joined, &other.joined);
+        0.6 * j + 0.4 * l
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +211,20 @@ mod tests {
         assert!(title_similarity(a, a) > 0.999);
     }
 
+    #[test]
+    fn title_key_exposes_the_normalized_key() {
+        let title = "X87 FDP Value May be Saved Incorrectly";
+        assert_eq!(TitleKey::new(title).joined(), crate::normalized_key(title));
+    }
+
     proptest! {
+        #[test]
+        fn title_key_similarity_matches_direct_similarity(a in ".{0,60}", b in ".{0,60}") {
+            let cached = TitleKey::new(&a).similarity(&TitleKey::new(&b));
+            let direct = title_similarity(&a, &b);
+            prop_assert!((cached - direct).abs() == 0.0, "cached {cached} != direct {direct}");
+        }
+
         #[test]
         fn levenshtein_is_a_metric(a in "[a-c]{0,12}", b in "[a-c]{0,12}", c in "[a-c]{0,12}") {
             let dab = levenshtein(&a, &b, None);

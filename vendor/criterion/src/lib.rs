@@ -155,11 +155,16 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs one benchmark and prints its result.
+    /// Runs one benchmark and prints its result. Skipped (body never runs)
+    /// when a command-line filter is set and the `group/id` name does not
+    /// contain it.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        if !self.criterion.matches(&format!("{}/{}", self.name, id)) {
+            return self;
+        }
         let mut bencher = Bencher {
             sample_size: self.sample_size,
             stats: None,
@@ -181,9 +186,27 @@ impl BenchmarkGroup<'_> {
 pub struct Criterion {
     /// All results recorded so far, in execution order.
     results: Vec<(String, Stats)>,
+    /// Substring filter from the command line; non-matching benchmarks are
+    /// skipped entirely (their bodies never run).
+    filter: Option<String>,
 }
 
 impl Criterion {
+    /// Builds a harness honoring the standard `cargo bench -- FILTER`
+    /// convention: the first non-flag argument is a substring filter on
+    /// `group/benchmark` names.
+    #[must_use]
+    pub fn from_args() -> Self {
+        Self {
+            results: Vec::new(),
+            filter: std::env::args().skip(1).find(|arg| !arg.starts_with('-')),
+        }
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
@@ -231,7 +254,7 @@ impl Criterion {
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
         fn $group() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::from_args();
             $($target(&mut criterion);)+
         }
     };
@@ -265,6 +288,36 @@ mod tests {
         assert_eq!(results[0].0, "smoke/sum");
         assert!(results[0].1.median_ns > 0.0);
         assert!(results[0].1.min_ns <= results[0].1.median_ns);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            results: Vec::new(),
+            filter: Some("parallel".to_string()),
+        };
+        let mut ran = Vec::new();
+        {
+            let mut group = c.benchmark_group("parallel");
+            group.sample_size(2);
+            group.bench_function("hit", |b| {
+                ran.push("hit");
+                b.iter(|| 1 + 1);
+            });
+            group.finish();
+        }
+        {
+            let mut group = c.benchmark_group("dedup");
+            group.sample_size(2);
+            group.bench_function("miss", |b| {
+                ran.push("miss");
+                b.iter(|| 1 + 1);
+            });
+            group.finish();
+        }
+        assert_eq!(ran, ["hit"]);
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].0, "parallel/hit");
     }
 
     #[test]
