@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::num::NonZeroUsize;
 
-use rememberr::{assign_keys, load, save, Database, DbEntry, DedupStrategy};
+use rememberr::{
+    assign_keys, assign_keys_with, load, save, CandidateGen, Database, DbEntry, DedupStrategy,
+};
 use rememberr_bench::{paper_corpus, paper_db, small_corpus};
 use rememberr_classify::{classify_database, classify_erratum, FourEyesConfig, HumanOracle, Rules};
 use rememberr_docgen::{render_document, CorpusSpec, SyntheticCorpus};
@@ -67,6 +69,35 @@ fn bench_dedup(c: &mut Criterion) {
             criterion::BatchSize::LargeInput,
         )
     });
+    group.finish();
+}
+
+fn bench_dedup_candidates(c: &mut Criterion) {
+    // Indexed vs exhaustive cascade candidate generation, sweeping the
+    // corpus size. Both points of each pair produce identical clusters
+    // (the equivalence suite asserts it); the delta is pure candidate
+    // pruning plus similarity fast paths.
+    let mut group = c.benchmark_group("dedup_candidates");
+    group.sample_size(10);
+    for scale in [0.25f64, 0.5, 1.0] {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(scale));
+        let entries: Vec<DbEntry> = Database::from_documents(&corpus.structured)
+            .entries()
+            .to_vec();
+        let pct = (scale * 100.0) as u32;
+        for (name, gen) in [
+            ("indexed", CandidateGen::Indexed),
+            ("exhaustive", CandidateGen::Exhaustive),
+        ] {
+            group.bench_function(&format!("{name}_{pct}pct"), |b| {
+                b.iter_batched(
+                    || entries.clone(),
+                    |mut e| black_box(assign_keys_with(&mut e, DedupStrategy::default(), gen)),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
     group.finish();
 }
 
@@ -184,6 +215,7 @@ criterion_group!(
     bench_generation,
     bench_extraction,
     bench_dedup,
+    bench_dedup_candidates,
     bench_classification,
     bench_persistence,
     bench_small_end_to_end,

@@ -1,0 +1,182 @@
+//! Dedup candidate-generation baseline: measures both cascade candidate
+//! generators across corpus scales and pins the result as `BENCH_dedup.json`.
+//!
+//! ```text
+//! dedup_baseline [--out FILE] [--check FILE]
+//! ```
+//!
+//! * `--out FILE` — write the measured baseline (corpus scale →
+//!   comparisons/pruned/wall-clock per generator) as JSON.
+//! * `--check FILE` — read a previously committed baseline and fail
+//!   (exit 1) if the indexed path now performs more full edit-distance
+//!   comparisons than recorded at any scale. Comparisons are a pure
+//!   function of the seeded corpus, so any increase is a real regression,
+//!   not noise; wall-clock is recorded for context but never checked.
+//!
+//! The run always cross-checks the two generators against each other:
+//! cluster keys and `cascade_merges` must agree exactly (the exhaustive
+//! enumerator is the correctness oracle for the indexed path).
+
+use std::time::Instant;
+
+use rememberr::{assign_keys_with, CandidateGen, Database, DedupStrategy};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+use serde::Value;
+
+const SCALES: [f64; 3] = [0.25, 0.5, 1.0];
+
+struct Measurement {
+    comparisons_made: u64,
+    candidates_pruned: u64,
+    cascade_merges: usize,
+    wall_clock_ms: f64,
+    keys: Vec<Option<u32>>,
+}
+
+fn measure(db: &Database, gen: CandidateGen) -> Measurement {
+    let mut entries = db.entries().to_vec();
+    for e in &mut entries {
+        e.key = None;
+    }
+    let start = Instant::now();
+    let stats = assign_keys_with(&mut entries, DedupStrategy::default(), gen);
+    let wall_clock_ms = start.elapsed().as_secs_f64() * 1e3;
+    Measurement {
+        comparisons_made: stats.comparisons_made,
+        candidates_pruned: stats.candidates_pruned,
+        cascade_merges: stats.cascade_merges,
+        wall_clock_ms,
+        keys: entries.iter().map(|e| e.key.map(|k| k.value())).collect(),
+    }
+}
+
+fn measurement_value(m: &Measurement) -> Value {
+    Value::Object(vec![
+        (
+            "comparisons_made".to_string(),
+            serde::Serialize::to_value(&m.comparisons_made),
+        ),
+        (
+            "candidates_pruned".to_string(),
+            serde::Serialize::to_value(&m.candidates_pruned),
+        ),
+        (
+            "cascade_merges".to_string(),
+            serde::Serialize::to_value(&m.cascade_merges),
+        ),
+        (
+            "wall_clock_ms".to_string(),
+            serde::Serialize::to_value(&m.wall_clock_ms),
+        ),
+    ])
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(args.next().expect("--out needs a file")),
+            "--check" => check = Some(args.next().expect("--check needs a file")),
+            other => {
+                eprintln!("usage: dedup_baseline [--out FILE] [--check FILE] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut scale_values = Vec::new();
+    let mut indexed_by_scale: Vec<(f64, u64)> = Vec::new();
+    for scale in SCALES {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(scale));
+        let db = Database::from_documents(&corpus.structured);
+        let indexed = measure(&db, CandidateGen::Indexed);
+        let exhaustive = measure(&db, CandidateGen::Exhaustive);
+
+        // Oracle cross-check: identical clustering, or the baseline is
+        // meaningless.
+        assert_eq!(
+            indexed.keys, exhaustive.keys,
+            "scale {scale}: indexed clustering diverged from the exhaustive oracle"
+        );
+        assert_eq!(indexed.cascade_merges, exhaustive.cascade_merges);
+
+        let ratio = if indexed.comparisons_made == 0 {
+            f64::INFINITY
+        } else {
+            exhaustive.comparisons_made as f64 / indexed.comparisons_made as f64
+        };
+        println!(
+            "scale {scale:>4}: entries {:>5} | exhaustive {:>6} comparisons | indexed {:>4} \
+             comparisons ({:>5} pruned) | {ratio:.1}x fewer | {:.1} ms vs {:.1} ms",
+            db.len(),
+            exhaustive.comparisons_made,
+            indexed.comparisons_made,
+            indexed.candidates_pruned,
+            exhaustive.wall_clock_ms,
+            indexed.wall_clock_ms,
+        );
+        indexed_by_scale.push((scale, indexed.comparisons_made));
+        scale_values.push(Value::Object(vec![
+            ("scale".to_string(), serde::Serialize::to_value(&scale)),
+            ("entries".to_string(), serde::Serialize::to_value(&db.len())),
+            ("indexed".to_string(), measurement_value(&indexed)),
+            ("exhaustive".to_string(), measurement_value(&exhaustive)),
+        ]));
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline: Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let scales = baseline
+            .get("scales")
+            .and_then(Value::as_array)
+            .expect("baseline has a scales array");
+        let mut failed = false;
+        for recorded in scales {
+            let scale: f64 =
+                serde::Deserialize::from_value(recorded.get("scale").expect("scale field"))
+                    .expect("numeric scale");
+            let ceiling: u64 = serde::Deserialize::from_value(
+                recorded
+                    .get("indexed")
+                    .and_then(|v| v.get("comparisons_made"))
+                    .expect("indexed.comparisons_made field"),
+            )
+            .expect("numeric comparisons_made");
+            let Some(&(_, current)) = indexed_by_scale
+                .iter()
+                .find(|(s, _)| (s - scale).abs() < 1e-9)
+            else {
+                continue;
+            };
+            if current > ceiling {
+                eprintln!(
+                    "REGRESSION at scale {scale}: indexed comparisons_made {current} exceeds \
+                     the committed ceiling {ceiling}"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check against {path}: indexed comparisons within the committed ceiling");
+    }
+
+    if let Some(path) = out {
+        let doc = Value::Object(vec![
+            (
+                "schema".to_string(),
+                serde::Serialize::to_value(&"rememberr-bench-dedup/v1"),
+            ),
+            ("scales".to_string(), Value::Array(scale_values)),
+        ]);
+        let json = serde_json::to_string_pretty(&doc).expect("baseline serializes");
+        std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

@@ -69,6 +69,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "metrics",
     "metrics-out",
     "jobs",
+    "dedup-candidates",
 ];
 
 /// Parses a raw argument list (without the program name).
@@ -208,6 +209,21 @@ mod tests {
             parse(["query", "--frobnicate", "9"]),
             Err(ArgsError::UnknownOption("frobnicate".into()))
         );
+    }
+
+    #[test]
+    fn dedup_candidates_option_parses() {
+        let parsed = parse([
+            "extract",
+            "--docs",
+            "d",
+            "--out",
+            "o",
+            "--dedup-candidates",
+            "exhaustive",
+        ])
+        .unwrap();
+        assert_eq!(parsed.get("dedup-candidates"), Some("exhaustive"));
     }
 
     #[test]

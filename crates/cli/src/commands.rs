@@ -7,7 +7,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use rememberr::{load, save, Database, Query};
+use rememberr::{load, save, CandidateGen, Database, DedupStrategy, Query};
 use rememberr_analysis::{export_csvs, plan_campaign, FullReport};
 use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
 use rememberr_docgen::{CorpusSpec, GroundTruth, SyntheticCorpus};
@@ -91,7 +91,8 @@ pub fn cmd_extract(args: &ParsedArgs) -> CmdResult {
         documents.push(extracted.document);
     }
 
-    let db = Database::from_documents(&documents);
+    let candidates: CandidateGen = args.get_parsed("dedup-candidates", CandidateGen::default())?;
+    let db = Database::from_documents_opts(&documents, DedupStrategy::default(), candidates);
     write_db(&db, &out)?;
     Ok(format!(
         "extracted {} documents -> {} entries, {} unique bugs, {} defects; saved {}",
@@ -300,7 +301,7 @@ pub fn usage() -> String {
 
 USAGE:
   rememberr generate --out DIR [--scale F] [--seed N]
-  rememberr extract  --docs DIR --out DB.jsonl
+  rememberr extract  --docs DIR --out DB.jsonl [--dedup-candidates indexed|exhaustive]
   rememberr classify --db DB.jsonl --out DB.jsonl [--truth truth.json] [--no-humans]
   rememberr report   --db DB.jsonl [--csv-dir DIR]
   rememberr query    --db DB.jsonl [--vendor intel|amd] [--trigger CODE]...
@@ -318,6 +319,14 @@ PARALLELISM (any command):
   --jobs N             worker threads for parallel stages (default: all
                        cores; 1 = sequential). Output is identical at any
                        worker count.
+
+DEDUP (extract):
+  --dedup-candidates indexed|exhaustive
+                       cascade candidate generator (default: indexed).
+                       \"indexed\" prunes pairs with an inverted token
+                       index and similarity fast paths; \"exhaustive\" is
+                       the all-pairs correctness oracle. The resulting
+                       database is byte-identical either way.
 "
     .to_string()
 }

@@ -1,0 +1,229 @@
+//! Candidate-pair generation for the similarity cascade.
+//!
+//! The cascade only ever merges entry pairs with identical problem
+//! descriptions, so candidates are confined to description groups. Within a
+//! group, two generators are available:
+//!
+//! * [`CandidateGen::Indexed`] (default) — builds an interned
+//!   [`Signature`] per participating entry and runs the threshold-derived
+//!   inverted-index filters of [`rememberr_textkit::candidate_pairs`],
+//!   pruning pairs that provably cannot reach the similarity threshold.
+//! * [`CandidateGen::Exhaustive`] — the original all-pairs enumerator,
+//!   kept as the correctness oracle (`--dedup-candidates exhaustive`).
+//!
+//! Pruning is lossless (the index generates a superset of every pair that
+//! can pass) and cascade merges are order-independent under union-find, so
+//! both generators yield identical clusters, identical `cascade_merges`,
+//! and byte-identical database JSON.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+use rememberr_textkit::{candidate_pairs, Interner, Signature, TitleKey};
+
+/// How the cascade generates candidate pairs within a description group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CandidateGen {
+    /// Inverted token index with threshold-derived prefix/length filters;
+    /// scoring then runs over interned signatures with edit-distance fast
+    /// paths.
+    #[default]
+    Indexed,
+    /// Brute-force all-pairs enumeration with full similarity scoring —
+    /// the correctness oracle the indexed path is checked against.
+    Exhaustive,
+}
+
+impl FromStr for CandidateGen {
+    type Err = String;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        match text {
+            "indexed" => Ok(CandidateGen::Indexed),
+            "exhaustive" => Ok(CandidateGen::Exhaustive),
+            other => Err(format!(
+                "invalid candidate generator {other:?} (expected \"indexed\" or \"exhaustive\")"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for CandidateGen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CandidateGen::Indexed => "indexed",
+            CandidateGen::Exhaustive => "exhaustive",
+        })
+    }
+}
+
+/// The cascade's scoring work list, produced by [`plan_cascade`].
+pub(crate) struct CascadePlan {
+    /// Entry-index pairs to score.
+    pub pairs: Vec<(usize, usize)>,
+    /// Pairs the index filters excluded without scoring (0 for the
+    /// exhaustive generator).
+    pub candidates_pruned: u64,
+    /// Interned signatures for cascade participants (indexed generator
+    /// only), aligned with the entry slice.
+    pub signatures: Vec<Option<Signature>>,
+}
+
+/// Plans the cascade's candidate pairs over description `groups`.
+///
+/// `roots` holds each entry's pre-cascade union-find root: pairs already in
+/// the same cluster are never candidates (merging them would be a no-op),
+/// matching the original enumerator. Signatures are built lazily, only for
+/// groups where a merge is still possible, and share one [`Interner`] so
+/// token ids agree across groups.
+pub(crate) fn plan_cascade(
+    groups: &[Vec<usize>],
+    roots: &[usize],
+    title_keys: &[Option<TitleKey>],
+    threshold: f64,
+    gen: CandidateGen,
+) -> CascadePlan {
+    match gen {
+        CandidateGen::Exhaustive => {
+            let mut pairs = Vec::new();
+            for group in groups {
+                for (gi, &a) in group.iter().enumerate() {
+                    for &b in &group[gi + 1..] {
+                        if roots[a] != roots[b] {
+                            pairs.push((a, b));
+                        }
+                    }
+                }
+            }
+            CascadePlan {
+                pairs,
+                candidates_pruned: 0,
+                signatures: Vec::new(),
+            }
+        }
+        CandidateGen::Indexed => {
+            let mut signatures: Vec<Option<Signature>> = vec![None; title_keys.len()];
+            let mut interner = Interner::new();
+            let mut pairs = Vec::new();
+            let mut pruned = 0u64;
+            for group in groups {
+                let distinct: BTreeSet<usize> = group.iter().map(|&i| roots[i]).collect();
+                if distinct.len() < 2 {
+                    continue;
+                }
+                for &i in group {
+                    if signatures[i].is_none() {
+                        let key = title_keys[i].as_ref().expect("cascade entry is Intel");
+                        signatures[i] = Some(Signature::from_title_key(key, &mut interner));
+                    }
+                }
+                let refs: Vec<&Signature> = group
+                    .iter()
+                    .map(|&i| signatures[i].as_ref().expect("signature just built"))
+                    .collect();
+                let candidates = candidate_pairs(&refs, threshold);
+                pruned += candidates.pruned as u64;
+                for (li, lj) in candidates.pairs {
+                    let (a, b) = (group[li], group[lj]);
+                    if roots[a] != roots[b] {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+            CascadePlan {
+                pairs,
+                candidates_pruned: pruned,
+                signatures,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(titles: &[&str]) -> Vec<Option<TitleKey>> {
+        titles.iter().map(|t| Some(TitleKey::new(t))).collect()
+    }
+
+    #[test]
+    fn candidate_gen_parses_and_displays() {
+        assert_eq!("indexed".parse::<CandidateGen>(), Ok(CandidateGen::Indexed));
+        assert_eq!(
+            "exhaustive".parse::<CandidateGen>(),
+            Ok(CandidateGen::Exhaustive)
+        );
+        assert!("fast".parse::<CandidateGen>().is_err());
+        assert_eq!(CandidateGen::default(), CandidateGen::Indexed);
+        assert_eq!(CandidateGen::Indexed.to_string(), "indexed");
+    }
+
+    #[test]
+    fn exhaustive_enumerates_distinct_root_pairs_in_group_order() {
+        let title_keys = keys(&["a b", "a b c", "a c", "z"]);
+        let groups = vec![vec![0, 1, 2], vec![3]];
+        let roots = vec![0, 1, 0, 3]; // 0 and 2 already share a cluster
+        let plan = plan_cascade(&groups, &roots, &title_keys, 0.5, CandidateGen::Exhaustive);
+        assert_eq!(plan.pairs, vec![(0, 1), (1, 2)]);
+        assert_eq!(plan.candidates_pruned, 0);
+    }
+
+    #[test]
+    fn indexed_covers_every_passing_exhaustive_pair() {
+        let titles = [
+            "warm reset processor hang",
+            "warm reset processor hang case",
+            "usb transfer drop packet",
+            "pcie link retrain endlessly",
+        ];
+        let title_keys = keys(&titles);
+        let groups = vec![vec![0, 1, 2, 3]];
+        let roots = vec![0, 1, 2, 3];
+        let threshold = 0.5;
+        let exhaustive = plan_cascade(
+            &groups,
+            &roots,
+            &title_keys,
+            threshold,
+            CandidateGen::Exhaustive,
+        );
+        let indexed = plan_cascade(
+            &groups,
+            &roots,
+            &title_keys,
+            threshold,
+            CandidateGen::Indexed,
+        );
+        for &(a, b) in &exhaustive.pairs {
+            let (ka, kb) = (
+                title_keys[a].as_ref().unwrap(),
+                title_keys[b].as_ref().unwrap(),
+            );
+            if ka.similarity(kb) >= threshold {
+                assert!(
+                    indexed.pairs.contains(&(a, b)),
+                    "lost passing pair ({a}, {b})"
+                );
+            }
+        }
+        assert!(
+            indexed.candidates_pruned > 0,
+            "expected pruning on disjoint titles"
+        );
+    }
+
+    #[test]
+    fn indexed_skips_single_root_groups_entirely() {
+        let title_keys = keys(&["a b", "a b"]);
+        let groups = vec![vec![0, 1]];
+        let roots = vec![0, 0];
+        let plan = plan_cascade(&groups, &roots, &title_keys, 0.5, CandidateGen::Indexed);
+        assert!(plan.pairs.is_empty());
+        assert!(
+            plan.signatures.iter().all(Option::is_none),
+            "no signatures built"
+        );
+    }
+}

@@ -5,7 +5,8 @@ use std::collections::HashMap;
 use rememberr_model::{Annotation, Design, ErrataDocument, ErratumId, UniqueKey, Vendor};
 use serde::{Deserialize, Serialize};
 
-use crate::dedup::{assign_keys, DedupStats, DedupStrategy};
+use crate::candidates::CandidateGen;
+use crate::dedup::{assign_keys_with, DedupStats, DedupStrategy};
 use crate::entry::DbEntry;
 
 /// The annotated, keyed errata database — the paper's primary artifact.
@@ -45,6 +46,17 @@ impl Database {
 
     /// Like [`Database::from_documents`] with an explicit dedup strategy.
     pub fn from_documents_with(documents: &[ErrataDocument], strategy: DedupStrategy) -> Self {
+        Self::from_documents_opts(documents, strategy, CandidateGen::default())
+    }
+
+    /// Like [`Database::from_documents_with`] with an explicit cascade
+    /// candidate generator. The generator never changes the resulting
+    /// database — only how much similarity-scoring work dedup performs.
+    pub fn from_documents_opts(
+        documents: &[ErrataDocument],
+        strategy: DedupStrategy,
+        candidates: CandidateGen,
+    ) -> Self {
         let mut entries = Vec::new();
         for doc in documents {
             let provenance = doc.approximate_disclosure_dates();
@@ -54,7 +66,7 @@ impl Database {
                 entries.push(entry);
             }
         }
-        let dedup_stats = assign_keys(&mut entries, strategy);
+        let dedup_stats = assign_keys_with(&mut entries, strategy, candidates);
         Self {
             entries,
             dedup_stats,
@@ -189,7 +201,7 @@ impl Database {
         for entry in &mut self.entries {
             entry.key = None;
         }
-        self.dedup_stats = assign_keys(&mut self.entries, strategy);
+        self.dedup_stats = assign_keys_with(&mut self.entries, strategy, CandidateGen::default());
         self.dedup_stats
     }
 

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod candidates;
 mod db;
 mod dedup;
 mod entry;
@@ -40,8 +41,11 @@ mod evaluate;
 mod persist;
 mod query;
 
+pub use candidates::CandidateGen;
 pub use db::Database;
-pub use dedup::{assign_keys, DedupStats, DedupStrategy, DEFAULT_SIMILARITY_THRESHOLD};
+pub use dedup::{
+    assign_keys, assign_keys_with, DedupStats, DedupStrategy, DEFAULT_SIMILARITY_THRESHOLD,
+};
 pub use entry::DbEntry;
 pub use evaluate::{
     evaluate_classification, evaluate_dedup, ClassificationEvaluation, DedupEvaluation, Prf,

@@ -1,0 +1,498 @@
+//! Interned similarity signatures and sublinear candidate generation.
+//!
+//! The dedup cascade's inner loop compares titles pairwise. A [`Signature`]
+//! precomputes everything a comparison needs over interned `u32` ids —
+//! sorted distinct token ids (Jaccard), a token-count vector (cosine), a
+//! cached bigram multiset (shingles) and the joined normalized form
+//! (Levenshtein) — so scoring a candidate allocates nothing.
+//!
+//! [`candidate_pairs`] replaces all-pairs enumeration with a classic
+//! set-similarity-join index: an inverted token index plus prefix and
+//! length filters derived from the composite-similarity threshold. The
+//! filters are *lossless*: every pair whose composite similarity can reach
+//! the threshold is generated (see the module tests for the property-based
+//! proof obligation); only pairs that provably cannot pass are pruned.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::intern::Interner;
+use crate::similarity::{
+    composite, decide_threshold, levenshtein_similarity, ThresholdCheck, TitleKey,
+};
+
+/// Sentinel marking a single-token "bigram" (a 1-shingle, mirroring
+/// [`crate::token_ngrams`]'s behavior on sequences shorter than `n`).
+const UNIGRAM: u32 = u32::MAX;
+
+/// A title's full similarity signature over interned token ids.
+///
+/// Built once per cluster via a shared [`Interner`]; every pairwise
+/// operation is then a sorted-slice merge over `u32`s with zero
+/// per-comparison allocation. [`Signature::similarity`] is bit-for-bit
+/// identical to [`TitleKey::similarity`] on the same titles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Sorted distinct token ids (the Jaccard operand).
+    token_ids: Vec<u32>,
+    /// Sorted `(token id, occurrence count)` pairs (the cosine operand).
+    token_counts: Vec<(u32, u32)>,
+    /// Sorted adjacent-token id pairs, duplicates kept (the shingle
+    /// operand); a single-token title stores `(id, UNIGRAM)`.
+    bigrams: Vec<(u32, u32)>,
+    /// Normalized tokens joined with single spaces (the Levenshtein
+    /// operand).
+    joined: String,
+}
+
+impl Signature {
+    /// Normalizes `title` and interns its tokens into a signature.
+    #[must_use]
+    pub fn new(title: &str, interner: &mut Interner) -> Self {
+        Self::from_title_key(&TitleKey::new(title), interner)
+    }
+
+    /// Builds the signature from an already-normalized [`TitleKey`],
+    /// avoiding re-normalization when the key is cached elsewhere.
+    #[must_use]
+    pub fn from_title_key(key: &TitleKey, interner: &mut Interner) -> Self {
+        let joined = key.joined().to_string();
+        let in_order: Vec<u32> = joined
+            .split(' ')
+            .filter(|t| !t.is_empty())
+            .map(|t| interner.intern(t))
+            .collect();
+
+        let mut token_ids = in_order.clone();
+        token_ids.sort_unstable();
+        token_ids.dedup();
+
+        let mut token_counts: Vec<(u32, u32)> = Vec::with_capacity(token_ids.len());
+        for &id in &in_order {
+            match token_counts.binary_search_by_key(&id, |&(t, _)| t) {
+                Ok(pos) => token_counts[pos].1 += 1,
+                Err(pos) => token_counts.insert(pos, (id, 1)),
+            }
+        }
+
+        let mut bigrams: Vec<(u32, u32)> = if in_order.len() == 1 {
+            vec![(in_order[0], UNIGRAM)]
+        } else {
+            in_order.windows(2).map(|w| (w[0], w[1])).collect()
+        };
+        bigrams.sort_unstable();
+
+        Self {
+            token_ids,
+            token_counts,
+            bigrams,
+            joined,
+        }
+    }
+
+    /// Sorted distinct token ids.
+    #[must_use]
+    pub fn token_ids(&self) -> &[u32] {
+        &self.token_ids
+    }
+
+    /// The joined normalized form (the Levenshtein operand).
+    #[must_use]
+    pub fn joined(&self) -> &str {
+        &self.joined
+    }
+
+    /// Token-set Jaccard similarity; identical to [`crate::jaccard`] over
+    /// the normalized token sets of the original titles.
+    #[must_use]
+    pub fn jaccard(&self, other: &Self) -> f64 {
+        let inter = sorted_intersection(&self.token_ids, &other.token_ids);
+        let union = self.token_ids.len() + other.token_ids.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Term-frequency cosine similarity; equal to [`crate::cosine`] over
+    /// the normalized token sequences up to floating-point summation order.
+    #[must_use]
+    pub fn cosine(&self, other: &Self) -> f64 {
+        if self.token_counts.is_empty() && other.token_counts.is_empty() {
+            return 1.0;
+        }
+        let (mut i, mut j, mut dot) = (0usize, 0usize, 0.0f64);
+        while i < self.token_counts.len() && j < other.token_counts.len() {
+            let (ta, va) = self.token_counts[i];
+            let (tb, vb) = other.token_counts[j];
+            match ta.cmp(&tb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += f64::from(va) * f64::from(vb);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let norm = |counts: &[(u32, u32)]| {
+            counts
+                .iter()
+                .map(|&(_, v)| f64::from(v) * f64::from(v))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let (na, nb) = (norm(&self.token_counts), norm(&other.token_counts));
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        dot / (na * nb)
+    }
+
+    /// Jaccard similarity of the distinct bigram shingle sets; identical to
+    /// [`crate::shingle_similarity`] with `n = 2` on the original titles.
+    #[must_use]
+    pub fn bigram_jaccard(&self, other: &Self) -> f64 {
+        let inter = sorted_distinct_intersection(&self.bigrams, &other.bigrams);
+        let da = count_distinct(&self.bigrams);
+        let db = count_distinct(&other.bigrams);
+        if da == 0 && db == 0 {
+            return 1.0;
+        }
+        let union = da + db - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Composite similarity; bit-for-bit identical to
+    /// [`TitleKey::similarity`] (and [`crate::title_similarity`]) on the
+    /// original titles.
+    #[must_use]
+    pub fn similarity(&self, other: &Self) -> f64 {
+        let l = levenshtein_similarity(&self.joined, &other.joined);
+        composite(self.jaccard(other), l)
+    }
+
+    /// Decides `self.similarity(other) >= threshold` exactly, preferring
+    /// constant-time distance bounds and falling back to the banded
+    /// Levenshtein dynamic program (whose cutoff is derived from the
+    /// threshold) only when the bounds straddle the threshold.
+    #[must_use]
+    pub fn similarity_at_least(&self, other: &Self, threshold: f64) -> ThresholdCheck {
+        decide_threshold(self.jaccard(other), &self.joined, &other.joined, threshold)
+    }
+}
+
+/// Size of the intersection of two sorted deduplicated slices.
+fn sorted_intersection(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Distinct elements of a sorted slice (duplicates allowed in the input).
+fn count_distinct(a: &[(u32, u32)]) -> usize {
+    let mut n = 0;
+    let mut last = None;
+    for &x in a {
+        if Some(x) != last {
+            n += 1;
+            last = Some(x);
+        }
+    }
+    n
+}
+
+/// Size of the distinct intersection of two sorted multiset slices.
+fn sorted_distinct_intersection(a: &[(u32, u32)], b: &[(u32, u32)]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    let mut last = None;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if Some(a[i]) != last {
+                    n += 1;
+                    last = Some(a[i]);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Candidate pairs produced by [`candidate_pairs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidates {
+    /// Candidate index pairs `(i, j)` with `i < j`, sorted.
+    pub pairs: Vec<(usize, usize)>,
+    /// Pairs the filters excluded without scoring.
+    pub pruned: usize,
+}
+
+/// The smallest token-set Jaccard a pair can have and still reach
+/// `threshold` composite similarity (Levenshtein similarity is at most 1,
+/// so `0.6 * j + 0.4 >= threshold` is necessary). The small epsilon absorbs
+/// floating-point slop conservatively — it can only *admit* extra
+/// candidates, never drop one.
+fn jaccard_floor(threshold: f64) -> f64 {
+    (threshold - 0.4) / 0.6 - 1e-9
+}
+
+/// Generates every index pair `(i, j)`, `i < j`, whose signatures could
+/// score at or above `threshold` composite similarity, using an inverted
+/// token index with prefix and length filters instead of enumerating all
+/// `n * (n - 1) / 2` pairs.
+///
+/// # Losslessness
+///
+/// A pair passing the threshold needs Jaccard `j >= floor` (see
+/// [`jaccard_floor`]), hence token overlap `o >= ceil(floor * |x|)` for
+/// both records — so the first `|x| - o + 1` tokens of either record (in
+/// *any* fixed token order; we use rarest-first to keep posting lists
+/// short) must contain a shared token, by pigeonhole. Each record is
+/// indexed under **all** its tokens and probes only that prefix, so every
+/// potentially-passing pair is found. Records with empty token sets pair
+/// only with each other (their Jaccard against any non-empty set is 0) and
+/// are handled by a dedicated bucket. When the threshold makes the floor
+/// non-positive, no token-based pruning is sound and all pairs are
+/// returned.
+#[must_use]
+pub fn candidate_pairs(signatures: &[&Signature], threshold: f64) -> Candidates {
+    let n = signatures.len();
+    let total = n * n.saturating_sub(1) / 2;
+    let floor = jaccard_floor(threshold);
+    if floor <= 0.0 {
+        let mut pairs = Vec::with_capacity(total);
+        for i in 0..n {
+            for j in i + 1..n {
+                pairs.push((i, j));
+            }
+        }
+        return Candidates { pairs, pruned: 0 };
+    }
+
+    // Rarest-first token order: document frequency within this collection,
+    // ties broken by id — deterministic, and it keeps probed posting lists
+    // short because shared *rare* tokens identify candidates fastest.
+    let mut df: HashMap<u32, u32> = HashMap::new();
+    for sig in signatures {
+        for &t in sig.token_ids() {
+            *df.entry(t).or_insert(0) += 1;
+        }
+    }
+    let rarity = |t: u32| (df.get(&t).copied().unwrap_or(0), t);
+
+    let mut postings: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut empties: Vec<usize> = Vec::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut probe: Vec<u32> = Vec::new();
+    for (i, sig) in signatures.iter().enumerate() {
+        let a = sig.token_ids().len();
+        if a == 0 {
+            for &e in &empties {
+                pairs.push((e, i));
+            }
+            empties.push(i);
+            continue;
+        }
+        // Minimum token overlap any passing partner must share with us.
+        let o_min = ((floor * a as f64 - 1e-9).ceil() as usize).max(1);
+        probe.clear();
+        probe.extend_from_slice(sig.token_ids());
+        probe.sort_unstable_by_key(|&t| rarity(t));
+        probe.truncate(a - o_min + 1);
+
+        let mut partners: BTreeSet<usize> = BTreeSet::new();
+        for t in &probe {
+            if let Some(list) = postings.get(t) {
+                for &j in list {
+                    let b = signatures[j].token_ids().len();
+                    let (small, large) = (a.min(b), a.max(b));
+                    // Length filter: overlap <= small, so small >= floor * large.
+                    if small as f64 + 1e-9 >= floor * large as f64 {
+                        partners.insert(j);
+                    }
+                }
+            }
+        }
+        for j in partners {
+            pairs.push((j, i));
+        }
+        for &t in sig.token_ids() {
+            postings.entry(t).or_default().push(i);
+        }
+    }
+    pairs.sort_unstable();
+    Candidates {
+        pruned: total - pairs.len(),
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cosine, jaccard, normalize, shingle_similarity, title_similarity};
+    use proptest::prelude::*;
+
+    fn sigs(titles: &[&str]) -> (Vec<Signature>, Interner) {
+        let mut interner = Interner::new();
+        let sigs = titles
+            .iter()
+            .map(|t| Signature::new(t, &mut interner))
+            .collect();
+        (sigs, interner)
+    }
+
+    #[test]
+    fn signature_similarity_is_bit_identical_to_title_key() {
+        let titles = [
+            "X87 FDP Value May be Saved Incorrectly",
+            "x87 FDP Values Might Be Saved Incorrectly",
+            "Processor May Hang When Switching Between Caches",
+            "",
+            "the of and",
+        ];
+        let (s, _) = sigs(&titles);
+        for (i, a) in titles.iter().enumerate() {
+            for (j, b) in titles.iter().enumerate() {
+                let direct = title_similarity(a, b);
+                let via_sig = s[i].similarity(&s[j]);
+                assert!(
+                    direct.to_bits() == via_sig.to_bits(),
+                    "{a:?} vs {b:?}: {direct} != {via_sig}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signature_metrics_match_string_implementations() {
+        let a = "A Warm Reset May Cause the Processor to Hang";
+        let b = "A Warm Reset Might Cause a Hang in the Processor Cache";
+        let (s, _) = sigs(&[a, b]);
+        let (na, nb) = (normalize(a), normalize(b));
+        let j_direct = jaccard(na.iter(), nb.iter());
+        assert!((s[0].jaccard(&s[1]) - j_direct).abs() == 0.0);
+        assert!((s[0].cosine(&s[1]) - cosine(&na, &nb)).abs() < 1e-12);
+        assert!((s[0].bigram_jaccard(&s[1]) - shingle_similarity(a, b, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidate_pairs_low_threshold_returns_all_pairs() {
+        let (s, _) = sigs(&["alpha beta", "gamma delta", "epsilon zeta"]);
+        let refs: Vec<&Signature> = s.iter().collect();
+        let c = candidate_pairs(&refs, 0.3);
+        assert_eq!(c.pairs, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(c.pruned, 0);
+    }
+
+    #[test]
+    fn candidate_pairs_prunes_disjoint_titles() {
+        let (s, _) = sigs(&[
+            "USB Transfers May Drop Packets",
+            "PCIe Links May Retrain Endlessly",
+            "USB Transfers Might Drop Packets Sometimes",
+        ]);
+        let refs: Vec<&Signature> = s.iter().collect();
+        let c = candidate_pairs(&refs, 0.5);
+        assert!(c.pairs.contains(&(0, 2)), "{:?}", c.pairs);
+        assert!(!c.pairs.contains(&(0, 1)), "{:?}", c.pairs);
+        assert!(c.pruned >= 2, "{c:?}");
+    }
+
+    #[test]
+    fn empty_token_titles_pair_with_each_other_only() {
+        let (s, _) = sigs(&["the of", "an and", "warm reset hang"]);
+        let refs: Vec<&Signature> = s.iter().collect();
+        let c = candidate_pairs(&refs, 0.5);
+        assert!(c.pairs.contains(&(0, 1)), "{:?}", c.pairs);
+        assert!(!c.pairs.contains(&(0, 2)), "{:?}", c.pairs);
+        assert!(!c.pairs.contains(&(1, 2)), "{:?}", c.pairs);
+    }
+
+    /// Titles drawn from a small shared vocabulary so random pairs overlap
+    /// often enough to exercise every filter.
+    fn title_strategy() -> impl Strategy<Value = String> {
+        const WORDS: [&str; 16] = [
+            "warm",
+            "reset",
+            "processor",
+            "hang",
+            "cache",
+            "x87",
+            "fdp",
+            "value",
+            "save",
+            "incorrectly",
+            "machine",
+            "check",
+            "the",
+            "may",
+            "usb",
+            "pcie",
+        ];
+        prop::collection::vec(0usize..WORDS.len(), 0..7).prop_map(|idxs| {
+            idxs.into_iter()
+                .map(|i| WORDS[i])
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+    }
+
+    proptest! {
+        /// The losslessness obligation: every pair whose composite
+        /// similarity clears the threshold is generated as a candidate.
+        #[test]
+        fn candidates_are_a_superset_of_passing_pairs(
+            titles in prop::collection::vec(title_strategy(), 0..14),
+            threshold in 0.30f64..0.95,
+        ) {
+            let refs: Vec<&str> = titles.iter().map(String::as_str).collect();
+            let (s, _) = sigs(&refs);
+            let sig_refs: Vec<&Signature> = s.iter().collect();
+            let got: std::collections::BTreeSet<(usize, usize)> =
+                candidate_pairs(&sig_refs, threshold).pairs.into_iter().collect();
+            for i in 0..s.len() {
+                for j in i + 1..s.len() {
+                    if s[i].similarity(&s[j]) >= threshold {
+                        prop_assert!(
+                            got.contains(&(i, j)),
+                            "pair {:?}/{:?} passes {} but was pruned",
+                            titles[i], titles[j], threshold
+                        );
+                    }
+                }
+            }
+        }
+
+        /// The fast-path decision agrees with full scoring on signatures.
+        #[test]
+        fn signature_threshold_check_matches_full_scoring(
+            a in title_strategy(),
+            b in title_strategy(),
+            threshold in 0.0f64..1.0,
+        ) {
+            let (s, _) = sigs(&[&a, &b]);
+            let check = s[0].similarity_at_least(&s[1], threshold);
+            prop_assert_eq!(check.passes, s[0].similarity(&s[1]) >= threshold);
+        }
+    }
+}

@@ -10,6 +10,10 @@
 //!   stemming for duplicate detection;
 //! * [`levenshtein`], [`jaccard`], [`cosine`], [`title_similarity`] — the
 //!   similarity metrics behind the Intel duplicate-detection cascade;
+//! * [`Interner`] / [`Signature`] / [`candidate_pairs`] — interned
+//!   per-title similarity signatures and the threshold-derived inverted
+//!   token index that generates dedup candidate pairs without enumerating
+//!   all pairs;
 //! * [`Pattern`] / [`PatternSet`] — a token-phrase pattern engine replacing
 //!   the paper's regex rules;
 //! * [`highlights`] — the syntax-highlighting assist used during manual
@@ -36,8 +40,12 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(clippy::unnecessary_to_owned)]
+#![deny(clippy::redundant_clone)]
 
 mod highlight;
+mod index;
+mod intern;
 mod ngram;
 mod normalize;
 mod pattern;
@@ -46,11 +54,14 @@ mod tokenize;
 mod wrap;
 
 pub use highlight::{highlights, render_ansi, render_markup, Highlight};
+pub use index::{candidate_pairs, Candidates, Signature};
+pub use intern::Interner;
 pub use ngram::{char_ngrams, shingle_similarity, token_ngrams};
-pub use normalize::{is_stopword, normalize, normalized_key, stem};
+pub use normalize::{is_stopword, normalize, normalized_key, stem, stem_owned};
 pub use pattern::{Pattern, PatternError, PatternSet, PreparedText, Span};
 pub use similarity::{
-    cosine, jaccard, levenshtein, levenshtein_similarity, title_similarity, TitleKey,
+    cosine, jaccard, levenshtein, levenshtein_similarity, title_similarity, ThresholdCheck,
+    TitleKey,
 };
 pub use tokenize::{tokenize, word_tokens, Token, TokenKind};
 pub use wrap::{reflow, reflow_counted, wrap, ReflowStats};

@@ -65,6 +65,51 @@ pub fn stem(word: &str) -> String {
     w.to_string()
 }
 
+/// [`stem`] taking ownership of the word, so the hot normalization path
+/// reuses the token's allocation instead of building a fresh `String` per
+/// word: every rule is a suffix truncation (plus one `push('y')` into
+/// freed capacity). Behavior is identical to [`stem`] — the property test
+/// below holds them equal.
+pub fn stem_owned(mut w: String) -> String {
+    if w.ends_with("'s") {
+        w.truncate(w.len() - 2);
+        return w;
+    }
+    if w.ends_with("ies") && w.len() >= 5 {
+        w.truncate(w.len() - 3);
+        w.push('y');
+        return w;
+    }
+    if w.ends_with("sses") {
+        w.truncate(w.len() - 2);
+        return w;
+    }
+    if w.ends_with("es") {
+        let base = &w[..w.len() - 2];
+        if base.len() >= 3 && (base.ends_with("sh") || base.ends_with("ch") || base.ends_with('x'))
+        {
+            w.truncate(w.len() - 2);
+            return w;
+        }
+    }
+    if w.ends_with('s') {
+        let base = &w[..w.len() - 1];
+        if base.len() >= 3 && !base.ends_with('s') && !base.ends_with('u') && !base.ends_with('i') {
+            w.truncate(w.len() - 1);
+            return w;
+        }
+    }
+    if w.ends_with("ing") && w.len() >= 6 {
+        w.truncate(w.len() - 3);
+        return w;
+    }
+    if w.ends_with("ed") && w.len() >= 5 {
+        w.truncate(w.len() - 2);
+        return w;
+    }
+    w
+}
+
 /// Normalizes text into a canonical token sequence: lowercase word tokens,
 /// stopwords removed, light stemming applied.
 ///
@@ -82,7 +127,7 @@ pub fn normalize(text: &str) -> Vec<String> {
     word_tokens(text)
         .into_iter()
         .filter(|w| !is_stopword(w))
-        .map(|w| stem(&w))
+        .map(stem_owned)
         .collect()
 }
 
@@ -145,5 +190,54 @@ mod tests {
     fn normalized_key_of_empty_is_empty() {
         assert_eq!(normalized_key(""), "");
         assert_eq!(normalized_key("the of and"), "");
+    }
+
+    #[test]
+    fn stem_owned_matches_stem_on_rule_boundaries() {
+        for w in [
+            "",
+            "s",
+            "es",
+            "ies",
+            "sses",
+            "ing",
+            "ed",
+            "'s",
+            "ties",
+            "dies",
+            "yes",
+            "uses",
+            "misses",
+            "boxes",
+            "riches",
+            "wishes",
+            "caches",
+            "registers",
+            "crossing",
+            "saved",
+            "bus",
+            "miss",
+            "radius",
+            "axis",
+            "sing",
+            "ring",
+            "bed",
+            "red",
+            "seed",
+            "processor's",
+        ] {
+            assert_eq!(stem_owned(w.to_string()), stem(w), "word {w:?}");
+        }
+    }
+
+    proptest::proptest! {
+        /// `stem_owned` is a pure allocation optimization: it must agree
+        /// with the reference [`stem`] on every input.
+        #[test]
+        fn stem_owned_is_stem(base in "[a-z']{0,10}", pick in 0usize..8) {
+            const SUFFIXES: [&str; 8] = ["", "'s", "ies", "sses", "es", "s", "ing", "ed"];
+            let w = format!("{base}{}", SUFFIXES[pick]);
+            proptest::prop_assert_eq!(stem_owned(w.clone()), stem(&w));
+        }
     }
 }

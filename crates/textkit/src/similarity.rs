@@ -70,17 +70,20 @@ pub fn jaccard<T: Ord>(a: impl IntoIterator<Item = T>, b: impl IntoIterator<Item
 }
 
 /// Cosine similarity between term-frequency vectors of two token sequences.
-pub fn cosine(a: &[String], b: &[String]) -> f64 {
+///
+/// Generic over anything string-like, so callers can pass `&[String]`,
+/// `&[&str]`, or borrowed token slices without building owned copies.
+pub fn cosine<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
     let mut fa: BTreeMap<&str, f64> = BTreeMap::new();
     for t in a {
-        *fa.entry(t.as_str()).or_default() += 1.0;
+        *fa.entry(t.as_ref()).or_default() += 1.0;
     }
     let mut fb: BTreeMap<&str, f64> = BTreeMap::new();
     for t in b {
-        *fb.entry(t.as_str()).or_default() += 1.0;
+        *fb.entry(t.as_ref()).or_default() += 1.0;
     }
     let dot: f64 = fa
         .iter()
@@ -92,6 +95,98 @@ pub fn cosine(a: &[String], b: &[String]) -> f64 {
         return 0.0;
     }
     dot / (na * nb)
+}
+
+/// The composite blend: `0.6 * jaccard + 0.4 * levenshtein_similarity`.
+///
+/// Every similarity path (direct, [`TitleKey`], signatures) funnels through
+/// this one expression, so threshold short-cuts can reason about the exact
+/// floating-point value the full computation would produce.
+pub(crate) fn composite(jaccard: f64, levenshtein: f64) -> f64 {
+    0.6 * jaccard + 0.4 * levenshtein
+}
+
+/// Outcome of a threshold-gated similarity check: whether the pair clears
+/// the threshold, and whether deciding that required the Levenshtein
+/// dynamic program (as opposed to a cheap bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThresholdCheck {
+    /// `similarity(a, b) >= threshold`, decided exactly.
+    pub passes: bool,
+    /// True if the edit-distance dynamic program had to run; false when a
+    /// constant-time bound settled the question.
+    pub scored: bool,
+}
+
+/// Upper bound on the Levenshtein distance: after stripping the longest
+/// common prefix and suffix, the remainders can always be aligned with
+/// `max(|rem_a|, |rem_b|)` substitutions/insertions/deletions.
+fn trimmed_distance_bound(a: &[u8], b: &[u8]) -> usize {
+    let prefix = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+    let (a, b) = (&a[prefix..], &b[prefix..]);
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    (a.len() - suffix).max(b.len() - suffix)
+}
+
+/// Decides `composite(j, levenshtein_similarity(a, b)) >= threshold` with
+/// the exact result of the full computation, running the edit-distance
+/// dynamic program only when cheap bounds cannot settle it.
+///
+/// Soundness: `composite` is monotone non-increasing in the edit distance
+/// `d` (every floating-point step — division, subtraction, scaled blend —
+/// is monotone), and `|len(a) - len(b)| <= d <= trimmed_distance_bound`.
+/// Evaluating the *same* float expression at the bounds therefore brackets
+/// the true value; only when the bracket straddles the threshold does the
+/// banded DP run, with its cutoff set to the largest distance that still
+/// passes — the exact band [`levenshtein`] exits early on.
+pub(crate) fn decide_threshold(jaccard: f64, a: &str, b: &str, threshold: f64) -> ThresholdCheck {
+    let max_len = a.len().max(b.len());
+    if max_len == 0 {
+        return ThresholdCheck {
+            passes: composite(jaccard, 1.0) >= threshold,
+            scored: false,
+        };
+    }
+    // The exact similarity the full computation would produce for a
+    // hypothetical distance d — same expression, same rounding.
+    let sim_at = |d: usize| composite(jaccard, 1.0 - d as f64 / max_len as f64);
+    let d_lower = a.len().abs_diff(b.len());
+    if sim_at(d_lower) < threshold {
+        // Even the most favorable distance fails: hopeless pair.
+        return ThresholdCheck {
+            passes: false,
+            scored: false,
+        };
+    }
+    let d_upper = trimmed_distance_bound(a.as_bytes(), b.as_bytes());
+    if sim_at(d_upper) >= threshold {
+        // Even the least favorable distance passes: certain pair.
+        return ThresholdCheck {
+            passes: true,
+            scored: false,
+        };
+    }
+    // sim_at is monotone non-increasing, sim_at(d_lower) passes and
+    // sim_at(d_upper) fails: binary-search the largest passing distance.
+    let (mut lo, mut hi) = (d_lower, d_upper);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if sim_at(mid) >= threshold {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let d = levenshtein(a, b, Some(lo));
+    ThresholdCheck {
+        passes: d <= lo,
+        scored: true,
+    }
 }
 
 /// Composite title similarity in `[0, 1]`, the ranking key of the Intel
@@ -149,15 +244,35 @@ impl TitleKey {
     /// same result as [`title_similarity`] on the original titles.
     #[must_use]
     pub fn similarity(&self, other: &Self) -> f64 {
+        let l = levenshtein_similarity(&self.joined, &other.joined);
+        composite(self.jaccard(other), l)
+    }
+
+    /// Token-set Jaccard similarity against another key (the first operand
+    /// of the composite blend).
+    #[must_use]
+    pub fn jaccard(&self, other: &Self) -> f64 {
         let inter = self.tokens.intersection(&other.tokens).count();
         let union = self.tokens.len() + other.tokens.len() - inter;
-        let j = if union == 0 {
+        if union == 0 {
             1.0
         } else {
             inter as f64 / union as f64
-        };
-        let l = levenshtein_similarity(&self.joined, &other.joined);
-        0.6 * j + 0.4 * l
+        }
+    }
+
+    /// Decides `self.similarity(other) >= threshold` exactly, without
+    /// always paying for the full edit-distance computation.
+    ///
+    /// The threshold is threaded into [`levenshtein`]'s cutoff band: the
+    /// dynamic program runs only when constant-time distance bounds cannot
+    /// settle the comparison, and then exits as soon as the distance
+    /// provably leaves the band that could still pass. The boolean is
+    /// bit-for-bit identical to comparing [`TitleKey::similarity`] against
+    /// `threshold`.
+    #[must_use]
+    pub fn similarity_at_least(&self, other: &Self, threshold: f64) -> bool {
+        decide_threshold(self.jaccard(other), &self.joined, &other.joined, threshold).passes
     }
 }
 
@@ -197,8 +312,10 @@ mod tests {
         assert!((cosine(&a, &b) - 1.0).abs() < 1e-12);
         let c = vec!["z".to_string()];
         assert_eq!(cosine(&a, &c), 0.0);
-        assert_eq!(cosine(&[], &[]), 1.0);
+        assert_eq!(cosine::<&str>(&[], &[]), 1.0);
         assert_eq!(cosine(&a, &[]), 0.0);
+        // Borrowed slices work without owned copies.
+        assert!((cosine(&["x", "y"], &["y", "x"]) - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -217,7 +334,37 @@ mod tests {
         assert_eq!(TitleKey::new(title).joined(), crate::normalized_key(title));
     }
 
+    #[test]
+    fn trimmed_bound_brackets_the_distance() {
+        for (a, b) in [
+            ("warm reset hang", "warm reset hang case"),
+            ("kitten", "sitting"),
+            ("", "abc"),
+            ("same", "same"),
+            ("x87 fdp value save incorrectly", "x87 fdp value might save"),
+        ] {
+            let d = levenshtein(a, b, None);
+            assert!(
+                d <= trimmed_distance_bound(a.as_bytes(), b.as_bytes()),
+                "{a:?} vs {b:?}"
+            );
+            assert!(d >= a.len().abs_diff(b.len()));
+        }
+    }
+
     proptest! {
+        #[test]
+        fn threshold_check_matches_full_similarity(
+            a in ".{0,60}",
+            b in ".{0,60}",
+            threshold in 0.0f64..1.0,
+        ) {
+            let (ka, kb) = (TitleKey::new(&a), TitleKey::new(&b));
+            let full = ka.similarity(&kb) >= threshold;
+            let fast = ka.similarity_at_least(&kb, threshold);
+            prop_assert_eq!(fast, full, "threshold {} on {:?} vs {:?}", threshold, a, b);
+        }
+
         #[test]
         fn title_key_similarity_matches_direct_similarity(a in ".{0,60}", b in ".{0,60}") {
             let cached = TitleKey::new(&a).similarity(&TitleKey::new(&b));

@@ -221,6 +221,23 @@ pub mod strategy {
 
     int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // 53 random bits give a uniform draw in [0, 1).
+                    let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
     impl Strategy for &str {
         type Value = String;
 
