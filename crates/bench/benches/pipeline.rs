@@ -11,7 +11,10 @@ use rememberr::{
     assign_keys, assign_keys_with, load, save, CandidateGen, Database, DbEntry, DedupStrategy,
 };
 use rememberr_bench::{paper_corpus, paper_db, small_corpus};
-use rememberr_classify::{classify_database, classify_erratum, FourEyesConfig, HumanOracle, Rules};
+use rememberr_classify::{
+    classify_database, classify_database_with, classify_erratum, FourEyesConfig, HumanOracle,
+    MatcherKind, Rules,
+};
 use rememberr_docgen::{render_document, CorpusSpec, SyntheticCorpus};
 use rememberr_extract::{extract_corpus, extract_document};
 use rememberr_model::Design;
@@ -97,6 +100,39 @@ fn bench_dedup_candidates(c: &mut Criterion) {
                 )
             });
         }
+    }
+    group.finish();
+}
+
+fn bench_classify_matcher(c: &mut Criterion) {
+    // Indexed vs exhaustive rule matching over the whole library. Both
+    // points of each pair produce byte-identical classifications (the
+    // equivalence suite asserts it); the delta is pure anchor-token
+    // pruning plus single-pass snippet extraction. Pure-auto mode keeps
+    // the measurement about matching, not the four-eyes simulation.
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.25));
+    let rules = Rules::standard();
+    let mut group = c.benchmark_group("classify_matcher");
+    group.sample_size(10);
+    for (name, matcher) in [
+        ("indexed", MatcherKind::Indexed),
+        ("exhaustive", MatcherKind::Exhaustive),
+    ] {
+        group.bench_function(&format!("{name}_25pct"), |b| {
+            b.iter_batched(
+                || Database::from_documents(&corpus.structured),
+                |mut db| {
+                    black_box(classify_database_with(
+                        &mut db,
+                        &rules,
+                        HumanOracle::None,
+                        &FourEyesConfig::default(),
+                        matcher,
+                    ))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
     }
     group.finish();
 }
@@ -216,6 +252,7 @@ criterion_group!(
     bench_extraction,
     bench_dedup,
     bench_dedup_candidates,
+    bench_classify_matcher,
     bench_classification,
     bench_persistence,
     bench_small_end_to_end,

@@ -1,0 +1,200 @@
+//! Rule-matcher baseline: measures both classification matchers across
+//! corpus scales and pins the result as `BENCH_classify.json`.
+//!
+//! ```text
+//! classify_baseline [--out FILE] [--check FILE]
+//! ```
+//!
+//! * `--out FILE` — write the measured baseline (corpus scale →
+//!   pattern_evals/patterns_pruned/wall-clock per matcher) as JSON.
+//! * `--check FILE` — read a previously committed baseline and fail
+//!   (exit 1) if the indexed matcher now performs more positional pattern
+//!   evaluations than recorded at any scale. Evaluations are a pure
+//!   function of the seeded corpus and the rule library, so any increase
+//!   is a real regression, not noise; wall-clock is recorded for context
+//!   but never checked.
+//!
+//! The run always cross-checks the two matchers against each other:
+//! classified database bytes and `DecisionStats` must agree exactly (the
+//! exhaustive per-pattern scan is the correctness oracle for the indexed
+//! matcher).
+
+use std::time::Instant;
+
+use rememberr::{save, Database};
+use rememberr_classify::{
+    classify_database_with, DecisionStats, FourEyesConfig, HumanOracle, MatcherKind, Rules,
+};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+use serde::Value;
+
+const SCALES: [f64; 3] = [0.25, 0.5, 1.0];
+
+struct Measurement {
+    pattern_evals: u64,
+    patterns_pruned: u64,
+    wall_clock_ms: f64,
+    stats: DecisionStats,
+    db_bytes: Vec<u8>,
+}
+
+fn measure(corpus: &SyntheticCorpus, rules: &Rules, matcher: MatcherKind) -> Measurement {
+    let mut db = Database::from_documents(&corpus.structured);
+    rememberr_obs::reset();
+    rememberr_obs::enable();
+    let start = Instant::now();
+    let run = classify_database_with(
+        &mut db,
+        rules,
+        HumanOracle::Simulated(&corpus.truth),
+        &FourEyesConfig::default(),
+        matcher,
+    );
+    let wall_clock_ms = start.elapsed().as_secs_f64() * 1e3;
+    let snapshot = rememberr_obs::snapshot();
+    rememberr_obs::disable();
+    rememberr_obs::reset();
+    let mut db_bytes = Vec::new();
+    save(&db, &mut db_bytes).expect("database serializes");
+    Measurement {
+        pattern_evals: snapshot.counters["classify.pattern_evals"],
+        patterns_pruned: snapshot
+            .counters
+            .get("classify.patterns_pruned")
+            .copied()
+            .unwrap_or(0),
+        wall_clock_ms,
+        stats: run.stats,
+        db_bytes,
+    }
+}
+
+fn measurement_value(m: &Measurement) -> Value {
+    Value::Object(vec![
+        (
+            "pattern_evals".to_string(),
+            serde::Serialize::to_value(&m.pattern_evals),
+        ),
+        (
+            "patterns_pruned".to_string(),
+            serde::Serialize::to_value(&m.patterns_pruned),
+        ),
+        (
+            "wall_clock_ms".to_string(),
+            serde::Serialize::to_value(&m.wall_clock_ms),
+        ),
+    ])
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(args.next().expect("--out needs a file")),
+            "--check" => check = Some(args.next().expect("--check needs a file")),
+            other => {
+                eprintln!("usage: classify_baseline [--out FILE] [--check FILE] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rules = Rules::standard();
+    let mut scale_values = Vec::new();
+    let mut indexed_by_scale: Vec<(f64, u64)> = Vec::new();
+    for scale in SCALES {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(scale));
+        let indexed = measure(&corpus, &rules, MatcherKind::Indexed);
+        let exhaustive = measure(&corpus, &rules, MatcherKind::Exhaustive);
+
+        // Oracle cross-check: identical classification, or the baseline is
+        // meaningless.
+        assert_eq!(
+            indexed.db_bytes, exhaustive.db_bytes,
+            "scale {scale}: indexed classification diverged from the exhaustive oracle"
+        );
+        assert_eq!(indexed.stats, exhaustive.stats);
+
+        let ratio = if indexed.pattern_evals == 0 {
+            f64::INFINITY
+        } else {
+            exhaustive.pattern_evals as f64 / indexed.pattern_evals as f64
+        };
+        println!(
+            "scale {scale:>4}: unique {:>5} | exhaustive {:>8} pattern evals | indexed {:>6} \
+             evals ({:>8} pruned) | {ratio:.1}x fewer | {:.1} ms vs {:.1} ms",
+            indexed.stats.unique_errata,
+            exhaustive.pattern_evals,
+            indexed.pattern_evals,
+            indexed.patterns_pruned,
+            exhaustive.wall_clock_ms,
+            indexed.wall_clock_ms,
+        );
+        indexed_by_scale.push((scale, indexed.pattern_evals));
+        scale_values.push(Value::Object(vec![
+            ("scale".to_string(), serde::Serialize::to_value(&scale)),
+            (
+                "unique_errata".to_string(),
+                serde::Serialize::to_value(&indexed.stats.unique_errata),
+            ),
+            ("indexed".to_string(), measurement_value(&indexed)),
+            ("exhaustive".to_string(), measurement_value(&exhaustive)),
+        ]));
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline: Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let scales = baseline
+            .get("scales")
+            .and_then(Value::as_array)
+            .expect("baseline has a scales array");
+        let mut failed = false;
+        for recorded in scales {
+            let scale: f64 =
+                serde::Deserialize::from_value(recorded.get("scale").expect("scale field"))
+                    .expect("numeric scale");
+            let ceiling: u64 = serde::Deserialize::from_value(
+                recorded
+                    .get("indexed")
+                    .and_then(|v| v.get("pattern_evals"))
+                    .expect("indexed.pattern_evals field"),
+            )
+            .expect("numeric pattern_evals");
+            let Some(&(_, current)) = indexed_by_scale
+                .iter()
+                .find(|(s, _)| (s - scale).abs() < 1e-9)
+            else {
+                continue;
+            };
+            if current > ceiling {
+                eprintln!(
+                    "REGRESSION at scale {scale}: indexed pattern_evals {current} exceeds \
+                     the committed ceiling {ceiling}"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check against {path}: indexed pattern evals within the committed ceiling");
+    }
+
+    if let Some(path) = out {
+        let doc = Value::Object(vec![
+            (
+                "schema".to_string(),
+                serde::Serialize::to_value(&"rememberr-bench-classify/v1"),
+            ),
+            ("scales".to_string(), Value::Array(scale_values)),
+        ]);
+        let json = serde_json::to_string_pretty(&doc).expect("baseline serializes");
+        std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

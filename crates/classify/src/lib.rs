@@ -41,10 +41,15 @@ mod pipeline;
 mod rules;
 
 pub use agreement::{cohens_kappa, percent_agreement};
-pub use auto::{classify_erratum, decide, prepare, AutoClassification, Decision};
+pub use auto::{
+    classify_erratum, classify_erratum_with, decide, prepare, AutoClassification, Decision,
+    MatcherKind,
+};
 pub use foureyes::{
     run_four_eyes, run_four_eyes_over, FourEyesConfig, FourEyesOutcome, HumanItem, Resolution,
     StepReport,
 };
-pub use pipeline::{classify_database, ClassificationRun, DecisionStats, HumanOracle};
+pub use pipeline::{
+    classify_database, classify_database_with, ClassificationRun, DecisionStats, HumanOracle,
+};
 pub use rules::Rules;

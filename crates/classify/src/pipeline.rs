@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// who assign an abstract category without quoting erratum text.
 const HUMAN_SNIPPET: &str = "[four-eyes]";
 
-use crate::auto::classify_erratum;
+use crate::auto::{classify_erratum_with, MatcherKind};
 use crate::foureyes::{run_four_eyes_over, FourEyesConfig, FourEyesOutcome, HumanItem};
 use crate::rules::Rules;
 
@@ -64,16 +64,31 @@ pub struct ClassificationRun {
     pub four_eyes: Option<FourEyesOutcome>,
 }
 
-/// Classifies every cluster of the database in place.
-///
-/// Returns workload statistics and, when `oracle` is
-/// [`HumanOracle::Simulated`], the four-eyes step reports that regenerate
-/// Figures 8 and 9.
+/// Classifies every cluster of the database in place with the default
+/// (indexed) rule matcher. See [`classify_database_with`].
 pub fn classify_database(
     db: &mut Database,
     rules: &Rules,
     oracle: HumanOracle<'_>,
     config: &FourEyesConfig,
+) -> ClassificationRun {
+    classify_database_with(db, rules, oracle, config, MatcherKind::default())
+}
+
+/// Classifies every cluster of the database in place.
+///
+/// Returns workload statistics and, when `oracle` is
+/// [`HumanOracle::Simulated`], the four-eyes step reports that regenerate
+/// Figures 8 and 9.
+///
+/// The `matcher` choice ([`MatcherKind`]) selects how the rule library is
+/// evaluated; both kinds produce byte-identical databases and statistics.
+pub fn classify_database_with(
+    db: &mut Database,
+    rules: &Rules,
+    oracle: HumanOracle<'_>,
+    config: &FourEyesConfig,
+    matcher: MatcherKind,
 ) -> ClassificationRun {
     let _span = rememberr_obs::span!("classify.database");
     // One representative per cluster ("we merge identical unique errata").
@@ -108,7 +123,7 @@ pub fn classify_database(
     // identical at every worker count.
     let autos = rememberr_par::par_map(&representatives, |(id, _)| {
         let entry = db.entry(*id).expect("representative exists");
-        classify_erratum(rules, &entry.erratum)
+        classify_erratum_with(rules, &entry.erratum, matcher)
     });
 
     for ((id, key), auto) in representatives.iter().zip(autos) {
@@ -268,6 +283,28 @@ mod tests {
         let outcome = run.four_eyes.expect("simulated oracle");
         assert_eq!(outcome.steps.len(), 7);
         assert_eq!(outcome.resolutions.len(), run.stats.human_decisions,);
+    }
+
+    #[test]
+    fn matchers_produce_identical_databases() {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.05));
+        let rules = Rules::standard();
+        let mut runs = Vec::new();
+        for matcher in [MatcherKind::Indexed, MatcherKind::Exhaustive] {
+            let mut db = Database::from_documents(&corpus.structured);
+            let run = classify_database_with(
+                &mut db,
+                &rules,
+                HumanOracle::Simulated(&corpus.truth),
+                &FourEyesConfig::default(),
+                matcher,
+            );
+            runs.push((db, run.stats));
+        }
+        let (db_a, stats_a) = &runs[0];
+        let (db_b, stats_b) = &runs[1];
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(db_a.entries(), db_b.entries());
     }
 
     #[test]

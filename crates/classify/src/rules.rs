@@ -13,14 +13,29 @@
 //! ([`rememberr_textkit::highlights`]) used during manual classification.
 
 use rememberr_model::Category;
-use rememberr_textkit::{Pattern, PatternSet};
+use rememberr_textkit::{Pattern, PatternSet, RuleMatcher};
 
 /// The compiled rule library.
+///
+/// Compilation pre-groups rules per category (so per-category lookups are
+/// index reads, not scans over the whole library) and builds one shared
+/// [`RuleMatcher`] over strong + weak + complex patterns, in that order, so
+/// the whole library matches against an erratum in a single indexed pass.
 #[derive(Debug, Clone)]
 pub struct Rules {
     strong: Vec<(Category, Pattern)>,
     weak: Vec<(Category, Pattern)>,
     complex: Vec<Pattern>,
+    /// Per-category indices into `strong` (`Category::dense_index` keyed),
+    /// in library order.
+    strong_by_cat: Vec<Vec<usize>>,
+    /// Per-category indices into `weak`, in library order.
+    weak_by_cat: Vec<Vec<usize>>,
+    /// Indexed matcher over `strong ++ weak ++ complex`; a strong rule's
+    /// matcher id is its `strong` index, a weak rule's is
+    /// `strong.len() + weak index`, a complex marker's is
+    /// `strong.len() + weak.len() + complex index`.
+    matcher: RuleMatcher,
 }
 
 /// `(category code, DSL pattern)` rows; compiled by [`Rules::standard`].
@@ -229,42 +244,105 @@ impl Rules {
     ///
     /// Panics if a built-in pattern fails to compile (checked by tests).
     pub fn standard() -> Self {
-        let compile = |rows: &[(&str, &str)]| -> Vec<(Category, Pattern)> {
+        Self::compile(STRONG_RULES, WEAK_RULES, COMPLEX_RULES).expect("standard library compiles")
+    }
+
+    /// Compiles a rule library from `(category code, DSL pattern)` rows,
+    /// pre-grouping rules per category and building the shared indexed
+    /// matcher over the whole library.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending row when a category code or
+    /// pattern fails to compile.
+    pub fn compile(
+        strong_rows: &[(&str, &str)],
+        weak_rows: &[(&str, &str)],
+        complex_rows: &[&str],
+    ) -> Result<Self, String> {
+        let parse_rows = |rows: &[(&str, &str)]| -> Result<Vec<(Category, Pattern)>, String> {
             rows.iter()
                 .map(|(code, src)| {
                     let category: Category = code
                         .parse()
-                        .unwrap_or_else(|_| panic!("bad category code {code}"));
+                        .map_err(|_| format!("bad category code {code}"))?;
                     let pattern =
-                        Pattern::parse(src).unwrap_or_else(|e| panic!("bad pattern {src:?}: {e}"));
-                    (category, pattern)
+                        Pattern::parse(src).map_err(|e| format!("bad pattern {src:?}: {e}"))?;
+                    Ok((category, pattern))
                 })
                 .collect()
         };
-        Self {
-            strong: compile(STRONG_RULES),
-            weak: compile(WEAK_RULES),
-            complex: COMPLEX_RULES
+        let strong = parse_rows(strong_rows)?;
+        let weak = parse_rows(weak_rows)?;
+        let complex: Vec<Pattern> = complex_rows
+            .iter()
+            .map(|src| Pattern::parse(src).map_err(|e| format!("bad pattern {src:?}: {e}")))
+            .collect::<Result<_, _>>()?;
+
+        let group = |rules: &[(Category, Pattern)]| -> Vec<Vec<usize>> {
+            let mut by_cat = vec![Vec::new(); Category::COUNT];
+            for (i, (category, _)) in rules.iter().enumerate() {
+                by_cat[category.dense_index()].push(i);
+            }
+            by_cat
+        };
+        let strong_by_cat = group(&strong);
+        let weak_by_cat = group(&weak);
+        let matcher = RuleMatcher::compile(
+            strong
                 .iter()
-                .map(|src| Pattern::parse(src).expect("valid complex pattern"))
-                .collect(),
-        }
+                .map(|(_, p)| p)
+                .chain(weak.iter().map(|(_, p)| p))
+                .chain(complex.iter())
+                .cloned(),
+        );
+        Ok(Self {
+            strong,
+            weak,
+            complex,
+            strong_by_cat,
+            weak_by_cat,
+            matcher,
+        })
     }
 
-    /// Strong rules for a category.
+    /// Strong rules for a category (pre-grouped at compile time).
     pub fn strong_for(&self, category: Category) -> impl Iterator<Item = &Pattern> {
-        self.strong
+        self.strong_by_cat[category.dense_index()]
             .iter()
-            .filter(move |(c, _)| *c == category)
-            .map(|(_, p)| p)
+            .map(move |&i| &self.strong[i].1)
     }
 
-    /// Weak rules for a category.
+    /// Weak rules for a category (pre-grouped at compile time).
     pub fn weak_for(&self, category: Category) -> impl Iterator<Item = &Pattern> {
-        self.weak
+        self.weak_by_cat[category.dense_index()]
             .iter()
-            .filter(move |(c, _)| *c == category)
-            .map(|(_, p)| p)
+            .map(move |&i| &self.weak[i].1)
+    }
+
+    /// The shared indexed matcher over the whole library.
+    pub fn matcher(&self) -> &RuleMatcher {
+        &self.matcher
+    }
+
+    /// Matcher ids of a category's strong rules, in library order (equal to
+    /// indices into [`Rules::strong`]).
+    pub(crate) fn strong_ids_for(&self, category: Category) -> &[usize] {
+        &self.strong_by_cat[category.dense_index()]
+    }
+
+    /// Matcher ids of a category's weak rules, in library order.
+    pub(crate) fn weak_ids_for(&self, category: Category) -> impl Iterator<Item = usize> + '_ {
+        let offset = self.strong.len();
+        self.weak_by_cat[category.dense_index()]
+            .iter()
+            .map(move |&i| offset + i)
+    }
+
+    /// Matcher ids of the complex-conditions markers.
+    pub(crate) fn complex_ids(&self) -> std::ops::Range<usize> {
+        let offset = self.strong.len() + self.weak.len();
+        offset..offset + self.complex.len()
     }
 
     /// All strong rules.
@@ -371,6 +449,60 @@ mod tests {
         assert_eq!(set.len(), rules.strong().len());
         let prepared = rememberr_textkit::PreparedText::new("a warm reset occurs");
         assert_eq!(set.matching_labels(&prepared), vec!["Trg_EXT_rst"]);
+    }
+
+    #[test]
+    fn per_category_groups_cover_the_whole_library_in_order() {
+        let rules = Rules::standard();
+        // The pre-grouped per-category iterators must agree with a fresh
+        // filter over the flat library (the pre-PR implementation).
+        for category in Category::all() {
+            let grouped: Vec<&Pattern> = rules.strong_for(category).collect();
+            let filtered: Vec<&Pattern> = rules
+                .strong()
+                .iter()
+                .filter(|(c, _)| *c == category)
+                .map(|(_, p)| p)
+                .collect();
+            assert_eq!(grouped, filtered, "strong rules for {category}");
+            let grouped: Vec<&Pattern> = rules.weak_for(category).collect();
+            let filtered: Vec<&Pattern> = rules
+                .weak()
+                .iter()
+                .filter(|(c, _)| *c == category)
+                .map(|(_, p)| p)
+                .collect();
+            assert_eq!(grouped, filtered, "weak rules for {category}");
+        }
+    }
+
+    #[test]
+    fn matcher_ids_line_up_with_the_library() {
+        let rules = Rules::standard();
+        let total = rules.strong().len() + rules.weak().len() + rules.complex().len();
+        assert_eq!(rules.matcher().len(), total);
+        for category in Category::all() {
+            for (&id, (_, p)) in rules
+                .strong_ids_for(category)
+                .iter()
+                .zip(rules.strong().iter().filter(|(c, _)| *c == category))
+            {
+                assert_eq!(rules.matcher().patterns()[id].source(), p.source());
+            }
+            for (id, p) in rules.weak_ids_for(category).zip(rules.weak_for(category)) {
+                assert_eq!(rules.matcher().patterns()[id].source(), p.source());
+            }
+        }
+        for (id, p) in rules.complex_ids().zip(rules.complex()) {
+            assert_eq!(rules.matcher().patterns()[id].source(), p.source());
+        }
+    }
+
+    #[test]
+    fn compile_rejects_bad_rows() {
+        assert!(Rules::compile(&[("Not_A_Cat", "x")], &[], &[]).is_err());
+        assert!(Rules::compile(&[("Trg_EXT_rst", "<x>")], &[], &[]).is_err());
+        assert!(Rules::compile(&[], &[], &["<2>"]).is_err());
     }
 
     #[test]

@@ -70,6 +70,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "metrics-out",
     "jobs",
     "dedup-candidates",
+    "classify-matcher",
 ];
 
 /// Parses a raw argument list (without the program name).
@@ -224,6 +225,21 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(parsed.get("dedup-candidates"), Some("exhaustive"));
+    }
+
+    #[test]
+    fn classify_matcher_option_parses() {
+        let parsed = parse([
+            "classify",
+            "--db",
+            "d",
+            "--out",
+            "o",
+            "--classify-matcher",
+            "exhaustive",
+        ])
+        .unwrap();
+        assert_eq!(parsed.get("classify-matcher"), Some("exhaustive"));
     }
 
     #[test]

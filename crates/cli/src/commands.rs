@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 
 use rememberr::{load, save, CandidateGen, Database, DedupStrategy, Query};
 use rememberr_analysis::{export_csvs, plan_campaign, FullReport};
-use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_classify::{classify_database_with, FourEyesConfig, HumanOracle, MatcherKind, Rules};
 use rememberr_docgen::{CorpusSpec, GroundTruth, SyntheticCorpus};
 use rememberr_extract::extract_document;
 use rememberr_model::{Context, Design, Effect, Trigger, Vendor};
@@ -104,8 +104,10 @@ pub fn cmd_extract(args: &ParsedArgs) -> CmdResult {
     ))
 }
 
-/// `rememberr classify --db DB.jsonl --out DB2.jsonl [--truth truth.json] [--no-humans]`
+/// `rememberr classify --db DB.jsonl --out DB2.jsonl [--truth truth.json]
+/// [--no-humans] [--classify-matcher indexed|exhaustive]`
 pub fn cmd_classify(args: &ParsedArgs) -> CmdResult {
+    let matcher: MatcherKind = args.get_parsed("classify-matcher", MatcherKind::default())?;
     let mut db = read_db(args)?;
     let out: PathBuf = args
         .get("out")
@@ -123,11 +125,12 @@ pub fn cmd_classify(args: &ParsedArgs) -> CmdResult {
         Some(t) => HumanOracle::Simulated(t),
         None => HumanOracle::None,
     };
-    let run = classify_database(
+    let run = classify_database_with(
         &mut db,
         &Rules::standard(),
         oracle,
         &FourEyesConfig::default(),
+        matcher,
     );
     write_db(&db, &out)?;
     Ok(format!(
@@ -303,6 +306,7 @@ USAGE:
   rememberr generate --out DIR [--scale F] [--seed N]
   rememberr extract  --docs DIR --out DB.jsonl [--dedup-candidates indexed|exhaustive]
   rememberr classify --db DB.jsonl --out DB.jsonl [--truth truth.json] [--no-humans]
+                     [--classify-matcher indexed|exhaustive]
   rememberr report   --db DB.jsonl [--csv-dir DIR]
   rememberr query    --db DB.jsonl [--vendor intel|amd] [--trigger CODE]...
                      [--context CODE]... [--effect CODE]... [--min-triggers N]
@@ -326,6 +330,14 @@ DEDUP (extract):
                        \"indexed\" prunes pairs with an inverted token
                        index and similarity fast paths; \"exhaustive\" is
                        the all-pairs correctness oracle. The resulting
+                       database is byte-identical either way.
+
+CLASSIFY:
+  --classify-matcher indexed|exhaustive
+                       rule-library matcher (default: indexed). \"indexed\"
+                       matches the whole library in one pass over an
+                       anchor-token posting index; \"exhaustive\" is the
+                       per-pattern correctness oracle. The classified
                        database is byte-identical either way.
 "
     .to_string()
@@ -500,6 +512,27 @@ mod tests {
             .contains("unknown command"));
         assert!(run(&parse(["help"]).unwrap()).unwrap().contains("USAGE"));
         assert!(cmd_query(&parse(["query", "--db", "x", "--vendor", "via"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn classify_rejects_bad_matcher() {
+        let err = cmd_classify(
+            &parse([
+                "classify",
+                "--db",
+                "x",
+                "--out",
+                "y",
+                "--classify-matcher",
+                "fast",
+            ])
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("invalid value for --classify-matcher"),
+            "{err}"
+        );
     }
 
     #[test]

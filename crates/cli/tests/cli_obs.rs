@@ -143,6 +143,8 @@ fn pipeline_roundtrip_with_metrics_and_trace() {
         "classify.relevance_eliminations",
         "classify.human_decisions",
         "classify.four_eyes_steps",
+        "classify.pattern_evals",
+        "classify.patterns_pruned",
     ] {
         assert!(snap.counters.contains_key(counter), "missing {counter}");
     }
@@ -151,6 +153,12 @@ fn pipeline_roundtrip_with_metrics_and_trace() {
     let human = snap.counters["classify.human_decisions"];
     assert_eq!(auto + human, raw);
     assert!(auto > human, "filter should eliminate most decisions");
+    // The indexed matcher (the default) prunes most of the rule library.
+    assert!(
+        snap.counters["classify.patterns_pruned"] > snap.counters["classify.pattern_evals"],
+        "expected pruning to dominate: {:?}",
+        snap.counters
+    );
 
     // `stats` renders a snapshot file as text.
     let out = run(&["stats", "--metrics", m_classify.to_str().unwrap()]);
@@ -224,6 +232,83 @@ fn jobs_runs_are_byte_identical() {
         let _ = fs::remove_file(&metrics);
     }
     let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn classify_matchers_and_jobs_are_byte_identical() {
+    let dir = tmp("cm-corpus");
+    let db = tmp("cm-db.jsonl");
+    let out = run(&[
+        "generate",
+        "--out",
+        dir.to_str().unwrap(),
+        "--scale",
+        "0.08",
+        "--seed",
+        "13",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = run(&[
+        "extract",
+        "--docs",
+        dir.to_str().unwrap(),
+        "--out",
+        db.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Classified database bytes must be identical across both matchers and
+    // every worker count; counter sections must be identical across worker
+    // counts for a fixed matcher (the matchers themselves report different
+    // pattern_evals — that is the point).
+    let truth = dir.join("truth.json");
+    let mut db_baseline: Option<Vec<u8>> = None;
+    for matcher in ["indexed", "exhaustive"] {
+        let mut counter_baseline: Option<String> = None;
+        for jobs in ["1", "8"] {
+            let db2 = tmp(&format!("cm-{matcher}-{jobs}-db.jsonl"));
+            let metrics = tmp(&format!("cm-{matcher}-{jobs}-metrics.json"));
+            let out = run(&[
+                "classify",
+                "--db",
+                db.to_str().unwrap(),
+                "--out",
+                db2.to_str().unwrap(),
+                "--truth",
+                truth.to_str().unwrap(),
+                "--classify-matcher",
+                matcher,
+                "--jobs",
+                jobs,
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+            ]);
+            assert!(out.status.success(), "{matcher}/{jobs}: {}", stderr(&out));
+            let bytes = fs::read(&db2).unwrap();
+            match &db_baseline {
+                None => db_baseline = Some(bytes),
+                Some(want) => {
+                    assert_eq!(&bytes, want, "database differs at {matcher} --jobs {jobs}")
+                }
+            }
+            let snap: rememberr_obs::Snapshot =
+                serde_json::from_str(&fs::read_to_string(&metrics).unwrap()).unwrap();
+            let counters = snap.counters_json();
+            match &counter_baseline {
+                None => counter_baseline = Some(counters),
+                Some(want) => {
+                    assert_eq!(
+                        &counters, want,
+                        "counters differ at {matcher} --jobs {jobs}"
+                    )
+                }
+            }
+            let _ = fs::remove_file(&db2);
+            let _ = fs::remove_file(&metrics);
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_file(&db);
 }
 
 #[test]

@@ -16,6 +16,9 @@
 //!   all pairs;
 //! * [`Pattern`] / [`PatternSet`] — a token-phrase pattern engine replacing
 //!   the paper's regex rules;
+//! * [`RuleMatcher`] — an indexed multi-pattern engine that matches a whole
+//!   pattern library against a [`PreparedText`] in one pass, pruning
+//!   patterns whose anchor token is absent;
 //! * [`highlights`] — the syntax-highlighting assist used during manual
 //!   classification;
 //! * [`wrap`] / [`reflow`] — document line rendering and its inverse.
@@ -46,6 +49,7 @@
 mod highlight;
 mod index;
 mod intern;
+mod matcher;
 mod ngram;
 mod normalize;
 mod pattern;
@@ -56,6 +60,7 @@ mod wrap;
 pub use highlight::{highlights, render_ansi, render_markup, Highlight};
 pub use index::{candidate_pairs, Candidates, Signature};
 pub use intern::Interner;
+pub use matcher::{MatchSet, RuleMatcher};
 pub use ngram::{char_ngrams, shingle_similarity, token_ngrams};
 pub use normalize::{is_stopword, normalize, normalized_key, stem, stem_owned};
 pub use pattern::{Pattern, PatternError, PatternSet, PreparedText, Span};

@@ -53,7 +53,7 @@ impl std::error::Error for PatternError {}
 
 /// A single-word alternative: literal or prefix.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum WordAlt {
+pub(crate) enum WordAlt {
     Literal(String),
     Prefix(String),
 }
@@ -69,7 +69,7 @@ impl WordAlt {
 
 /// One compiled pattern element.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Elem {
+pub(crate) enum Elem {
     Word(Vec<WordAlt>),
     Gap { max: usize },
     Number,
@@ -114,34 +114,58 @@ impl Span {
 /// Tokenized text prepared for repeated pattern matching.
 ///
 /// Classification applies hundreds of patterns to each erratum; preparing
-/// the text once amortizes tokenization and lowercasing.
+/// the text once amortizes tokenization and lowercasing. The prepared text
+/// *owns* its source, so callers can slice matched [`Span`]s back out of it
+/// ([`PreparedText::snippet`]) without keeping a second copy of the string
+/// alive, and it carries a sorted distinct-word index that multi-pattern
+/// matchers ([`crate::RuleMatcher`]) use as a token presence set.
 #[derive(Debug, Clone)]
 pub struct PreparedText {
+    /// The source text the spans index into.
+    source: String,
     /// Lowercased word tokens (punctuation removed).
     words: Vec<String>,
     /// Token kinds, parallel to `words`.
     kinds: Vec<TokenKind>,
     /// Source byte spans, parallel to `words`.
     spans: Vec<Span>,
+    /// Indices into `words`, sorted by word and deduplicated by value —
+    /// one representative per distinct word.
+    distinct: Vec<u32>,
 }
 
 impl PreparedText {
     /// Tokenizes and lowercases `text`.
     pub fn new(text: &str) -> Self {
-        let tokens: Vec<Token> = tokenize(text)
+        Self::from_string(text.to_string())
+    }
+
+    /// Tokenizes and lowercases an owned string, taking ownership of the
+    /// source so no second allocation is needed to slice snippets later.
+    pub fn from_string(source: String) -> Self {
+        let tokens: Vec<Token> = tokenize(&source)
             .into_iter()
             .filter(|t| t.kind != TokenKind::Punct)
             .collect();
+        let words: Vec<String> = tokens.iter().map(|t| t.lower()).collect();
+        let kinds = tokens.iter().map(|t| t.kind).collect();
+        let spans = tokens
+            .iter()
+            .map(|t| Span {
+                start: t.start,
+                end: t.end(),
+            })
+            .collect();
+        drop(tokens);
+        let mut distinct: Vec<u32> = (0..words.len() as u32).collect();
+        distinct.sort_unstable_by(|&a, &b| words[a as usize].cmp(&words[b as usize]));
+        distinct.dedup_by(|&mut a, &mut b| words[a as usize] == words[b as usize]);
         Self {
-            words: tokens.iter().map(|t| t.lower()).collect(),
-            kinds: tokens.iter().map(|t| t.kind).collect(),
-            spans: tokens
-                .iter()
-                .map(|t| Span {
-                    start: t.start,
-                    end: t.end(),
-                })
-                .collect(),
+            source,
+            words,
+            kinds,
+            spans,
+            distinct,
         }
     }
 
@@ -158,6 +182,40 @@ impl PreparedText {
     /// The lowercased word tokens.
     pub fn words(&self) -> &[String] {
         &self.words
+    }
+
+    /// The source text the prepared tokens index into.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Slices a matched span back out of the owned source text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span does not lie on byte boundaries of this text —
+    /// spans returned by [`Pattern::find_in`] / [`Pattern::first_match_in`]
+    /// on the same prepared text always do.
+    pub fn snippet(&self, span: Span) -> &str {
+        &self.source[span.start..span.end]
+    }
+
+    /// The distinct lowercased words, each yielded once, in sorted order.
+    pub fn distinct_words(&self) -> impl Iterator<Item = &str> {
+        self.distinct
+            .iter()
+            .map(|&i| self.words[i as usize].as_str())
+    }
+
+    /// True if any word starts with `prefix` (binary search over the
+    /// distinct-word index: words sharing a prefix sort contiguously).
+    pub fn has_word_with_prefix(&self, prefix: &str) -> bool {
+        let at = self
+            .distinct
+            .partition_point(|&i| self.words[i as usize].as_str() < prefix);
+        self.distinct
+            .get(at)
+            .is_some_and(|&i| self.words[i as usize].starts_with(prefix))
     }
 }
 
@@ -250,6 +308,25 @@ impl Pattern {
             }
             Elem::Gap { max } => (0..=*max).find_map(|skip| self.match_at(text, ei + 1, wi + skip)),
         }
+    }
+
+    /// The compiled elements (for same-crate multi-pattern indexing).
+    pub(crate) fn elems(&self) -> &[Elem] {
+        &self.elems
+    }
+
+    /// Finds the first (leftmost, shortest-gap) match and returns its
+    /// source byte span.
+    ///
+    /// Equivalent to `find_in(text).first().copied()` without materializing
+    /// the remaining matches.
+    pub fn first_match_in(&self, text: &PreparedText) -> Option<Span> {
+        (0..text.len()).find_map(|wi| {
+            self.match_at(text, 0, wi).map(|end| Span {
+                start: text.spans[wi].start,
+                end: text.spans[end - 1].end,
+            })
+        })
     }
 
     /// Finds all non-overlapping matches (leftmost, shortest-gap) and
@@ -472,6 +549,40 @@ mod tests {
         let spans = p.find_in(&prep(text));
         assert_eq!(spans.len(), 1);
         assert_eq!(&text[spans[0].start..spans[0].end], "power x state");
+    }
+
+    #[test]
+    fn prepared_text_owns_source_and_slices_snippets() {
+        let text = PreparedText::from_string("a Warm Reset occurs".to_string());
+        assert_eq!(text.source(), "a Warm Reset occurs");
+        let p = Pattern::parse("warm reset").unwrap();
+        let span = p.first_match_in(&text).unwrap();
+        assert_eq!(text.snippet(span), "Warm Reset");
+        assert_eq!(p.find_in(&text).first().copied(), Some(span));
+    }
+
+    #[test]
+    fn distinct_words_are_sorted_and_unique() {
+        let text = prep("reset b reset a b a a");
+        let distinct: Vec<&str> = text.distinct_words().collect();
+        assert_eq!(distinct, ["a", "b", "reset"]);
+    }
+
+    #[test]
+    fn word_prefix_probe() {
+        let text = prep("a speculative load occurs");
+        assert!(text.has_word_with_prefix("speculat"));
+        assert!(text.has_word_with_prefix("a"));
+        assert!(text.has_word_with_prefix("occurs"));
+        assert!(!text.has_word_with_prefix("speculative-"));
+        assert!(!text.has_word_with_prefix("z"));
+        assert!(!prep("").has_word_with_prefix("a"));
+    }
+
+    #[test]
+    fn first_match_is_none_without_a_match() {
+        let p = Pattern::parse("usb").unwrap();
+        assert_eq!(p.first_match_in(&prep("no bus here")), None);
     }
 
     #[test]
