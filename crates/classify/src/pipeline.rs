@@ -121,10 +121,13 @@ pub fn classify_database_with(
     // human-item collection, the seeded four-eyes simulation) consumes the
     // results sequentially in representative order, keeping the run
     // identical at every worker count.
-    let autos = rememberr_par::par_map(&representatives, |(id, _)| {
-        let entry = db.entry(*id).expect("representative exists");
-        classify_erratum_with(rules, &entry.erratum, matcher)
-    });
+    let autos = {
+        let _span = rememberr_obs::span!("classify.rules");
+        rememberr_par::par_map(&representatives, |(id, _)| {
+            let entry = db.entry(*id).expect("representative exists");
+            classify_erratum_with(rules, &entry.erratum, matcher)
+        })
+    };
 
     for ((id, key), auto) in representatives.iter().zip(autos) {
         auto_decided += auto.auto_decided;
@@ -155,7 +158,10 @@ pub fn classify_database_with(
             // Batch over the full unique-errata population: Figure 8 counts
             // every classified erratum, not only those needing human items.
             let population: Vec<ErratumId> = representatives.iter().map(|(id, _)| *id).collect();
-            let outcome = run_four_eyes_over(config, &population, &human_items);
+            let outcome = {
+                let _span = rememberr_obs::span!("classify.four_eyes");
+                run_four_eyes_over(config, &population, &human_items)
+            };
             let key_of: HashMap<ErratumId, UniqueKey> = representatives.iter().copied().collect();
             for resolution in &outcome.resolutions {
                 if !resolution.relevant {

@@ -47,7 +47,7 @@ impl std::error::Error for ArgsError {}
 const MULTI_OPTIONS: &[&str] = &["trigger", "context", "effect"];
 
 /// Option names that are boolean flags (no value).
-const FLAG_OPTIONS: &[&str] = &["unique", "no-humans", "help", "trace"];
+const FLAG_OPTIONS: &[&str] = &["unique", "no-humans", "help", "trace", "bench"];
 
 /// Single-valued option names understood by at least one command.
 /// Anything else is rejected up front, so a typo fails with usage text
@@ -68,9 +68,12 @@ const VALUE_OPTIONS: &[&str] = &[
     "effects",
     "metrics",
     "metrics-out",
+    "trace-out",
     "jobs",
     "dedup-candidates",
     "classify-matcher",
+    "bench-dedup",
+    "bench-classify",
 ];
 
 /// Parses a raw argument list (without the program name).
@@ -253,10 +256,32 @@ mod tests {
             "--metrics-out",
             "m",
             "--trace",
+            "--trace-out",
+            "t.json",
         ])
         .unwrap();
         assert!(parsed.has_flag("trace"));
         assert_eq!(parsed.get("metrics-out"), Some("m"));
+        assert_eq!(parsed.get("trace-out"), Some("t.json"));
+    }
+
+    #[test]
+    fn profile_and_bench_options_parse() {
+        let parsed = parse(["profile", "--scale", "0.25", "--jobs", "2"]).unwrap();
+        assert_eq!(parsed.command, "profile");
+        assert_eq!(parsed.get_parsed("scale", 1.0).unwrap(), 0.25);
+        let parsed = parse([
+            "report",
+            "--bench",
+            "--bench-dedup",
+            "BENCH_dedup.json",
+            "--bench-classify",
+            "BENCH_classify.json",
+        ])
+        .unwrap();
+        assert!(parsed.has_flag("bench"));
+        assert_eq!(parsed.get("bench-dedup"), Some("BENCH_dedup.json"));
+        assert_eq!(parsed.get("bench-classify"), Some("BENCH_classify.json"));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use rememberr::{load, save, CandidateGen, Database, DedupStrategy, Query};
 use rememberr_analysis::{export_csvs, plan_campaign, FullReport};
 use rememberr_classify::{classify_database_with, FourEyesConfig, HumanOracle, MatcherKind, Rules};
 use rememberr_docgen::{CorpusSpec, GroundTruth, SyntheticCorpus};
-use rememberr_extract::extract_document;
+use rememberr_extract::{extract_corpus, extract_document};
 use rememberr_model::{Context, Design, Effect, Trigger, Vendor};
 
 use crate::args::ParsedArgs;
@@ -143,8 +143,12 @@ pub fn cmd_classify(args: &ParsedArgs) -> CmdResult {
     ))
 }
 
-/// `rememberr report --db DB.jsonl [--csv-dir DIR]`
+/// `rememberr report --db DB.jsonl [--csv-dir DIR]`, or
+/// `rememberr report --bench [--bench-dedup FILE] [--bench-classify FILE]`
 pub fn cmd_report(args: &ParsedArgs) -> CmdResult {
+    if args.has_flag("bench") {
+        return cmd_report_bench(args);
+    }
     let db = read_db(args)?;
     let report = FullReport::build(&db, None, None);
     if let Some(dir) = args.get("csv-dir") {
@@ -247,6 +251,241 @@ pub fn cmd_export(args: &ParsedArgs) -> CmdResult {
     ))
 }
 
+/// `rememberr report --bench`: renders the committed benchmark baselines
+/// (`BENCH_dedup.json`, `BENCH_classify.json`) as a perf trajectory with
+/// pass/fail against the pinned gates. Doubles as a schema check: a
+/// baseline that fails to parse or lacks a gate field is an error.
+fn cmd_report_bench(args: &ParsedArgs) -> CmdResult {
+    let dedup_path = args.get("bench-dedup").unwrap_or("BENCH_dedup.json");
+    let classify_path = args.get("bench-classify").unwrap_or("BENCH_classify.json");
+    let mut out = String::new();
+    let mut all_pass = true;
+    all_pass &= render_bench_file(
+        &mut out,
+        dedup_path,
+        "rememberr-bench-dedup/v1",
+        "dedup candidate generation",
+        "entries",
+        "comparisons_made",
+        // Pinned gate: lossless pruning — the indexed path never does more
+        // full edit-distance comparisons than the exhaustive oracle.
+        BenchGate::IndexedAtMostExhaustive,
+    )?;
+    out.push('\n');
+    all_pass &= render_bench_file(
+        &mut out,
+        classify_path,
+        "rememberr-bench-classify/v1",
+        "classification rule matching",
+        "unique_errata",
+        "pattern_evals",
+        // Pinned gate: the indexed matcher keeps its >=10x eval reduction.
+        BenchGate::ReductionAtLeast(10.0),
+    )?;
+    out.push_str(if all_pass {
+        "\nall pinned gates PASS\n"
+    } else {
+        "\nPINNED GATE FAILURE (see above)\n"
+    });
+    if all_pass {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
+/// The pass/fail rule a benchmark baseline is held to.
+enum BenchGate {
+    /// Indexed effort must not exceed the exhaustive oracle's.
+    IndexedAtMostExhaustive,
+    /// Exhaustive/indexed effort ratio must be at least this.
+    ReductionAtLeast(f64),
+}
+
+/// Renders one `BENCH_*.json` trajectory; returns whether every scale
+/// passed its gate. Errors describe schema violations.
+fn render_bench_file(
+    out: &mut String,
+    path: &str,
+    want_schema: &str,
+    title: &str,
+    size_field: &str,
+    effort_field: &str,
+    gate: BenchGate,
+) -> Result<bool, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc: serde::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(serde::Value::as_str)
+        .ok_or_else(|| format!("{path}: missing \"schema\" field"))?;
+    if schema != want_schema {
+        return Err(format!(
+            "{path}: schema {schema:?}, expected {want_schema:?}"
+        ));
+    }
+    let scales = doc
+        .get("scales")
+        .and_then(serde::Value::as_array)
+        .ok_or_else(|| format!("{path}: missing \"scales\" array"))?;
+    if scales.is_empty() {
+        return Err(format!("{path}: \"scales\" is empty"));
+    }
+
+    let field_u64 = |scale: &serde::Value, side: &str, field: &str| -> Result<u64, String> {
+        let value = scale
+            .get(side)
+            .and_then(|v| v.get(field))
+            .ok_or_else(|| format!("{path}: missing {side}.{field}"))?;
+        serde::Deserialize::from_value(value).map_err(|e| format!("{path}: {side}.{field}: {e}"))
+    };
+    let field_f64 = |scale: &serde::Value, side: &str, field: &str| -> Result<f64, String> {
+        let value = scale
+            .get(side)
+            .and_then(|v| v.get(field))
+            .ok_or_else(|| format!("{path}: missing {side}.{field}"))?;
+        serde::Deserialize::from_value(value).map_err(|e| format!("{path}: {side}.{field}: {e}"))
+    };
+
+    out.push_str(&format!("bench trajectory: {title} ({path})\n"));
+    let mut all_pass = true;
+    for entry in scales {
+        let scale: f64 = serde::Deserialize::from_value(
+            entry
+                .get("scale")
+                .ok_or_else(|| format!("{path}: scale entry missing \"scale\""))?,
+        )
+        .map_err(|e| format!("{path}: scale: {e}"))?;
+        let size: u64 = serde::Deserialize::from_value(
+            entry
+                .get(size_field)
+                .ok_or_else(|| format!("{path}: scale {scale}: missing {size_field:?}"))?,
+        )
+        .map_err(|e| format!("{path}: {size_field}: {e}"))?;
+        let indexed = field_u64(entry, "indexed", effort_field)?;
+        let exhaustive = field_u64(entry, "exhaustive", effort_field)?;
+        let indexed_ms = field_f64(entry, "indexed", "wall_clock_ms")?;
+        let exhaustive_ms = field_f64(entry, "exhaustive", "wall_clock_ms")?;
+        let reduction = if indexed == 0 {
+            f64::INFINITY
+        } else {
+            exhaustive as f64 / indexed as f64
+        };
+        let pass = match gate {
+            BenchGate::IndexedAtMostExhaustive => indexed <= exhaustive,
+            BenchGate::ReductionAtLeast(bar) => reduction >= bar,
+        };
+        all_pass &= pass;
+        out.push_str(&format!(
+            "  scale {scale:>4}: {size:>5} {size_field} | exhaustive {exhaustive:>7} \
+             {effort_field} ({exhaustive_ms:>6.1} ms) | indexed {indexed:>6} \
+             ({indexed_ms:>6.1} ms) | {reduction:>5.1}x | {}\n",
+            if pass { "PASS" } else { "FAIL" }
+        ));
+    }
+    let gate_line = match gate {
+        BenchGate::IndexedAtMostExhaustive => {
+            format!("gate: indexed {effort_field} never exceeds the exhaustive oracle")
+        }
+        BenchGate::ReductionAtLeast(bar) => {
+            format!("gate: {effort_field} reduction >= {bar:.0}x at every scale")
+        }
+    };
+    out.push_str(&format!(
+        "  {gate_line} — {}\n",
+        if all_pass { "PASS" } else { "FAIL" }
+    ));
+    Ok(all_pass)
+}
+
+/// `rememberr profile [--scale F] [--seed N] [--jobs N]
+/// [--dedup-candidates ...] [--classify-matcher ...]`
+///
+/// Runs the full in-process pipeline (generate → extract → dedup →
+/// classify → analyze) with profiling on and prints a per-stage
+/// self/child-time table plus per-worker utilization. Combine with
+/// `--trace-out FILE` to also capture the Chrome trace of the same run.
+pub fn cmd_profile(args: &ParsedArgs) -> CmdResult {
+    let scale: f64 = args.get_parsed("scale", 1.0)?;
+    let candidates: CandidateGen = args.get_parsed("dedup-candidates", CandidateGen::default())?;
+    let matcher: MatcherKind = args.get_parsed("classify-matcher", MatcherKind::default())?;
+    let mut spec = if (scale - 1.0).abs() < f64::EPSILON {
+        CorpusSpec::paper()
+    } else {
+        CorpusSpec::scaled(scale)
+    };
+    spec.seed = args.get_parsed("seed", spec.seed)?;
+
+    // The profile owns the run: start from a clean slate so earlier
+    // activity (and the CLI root span) does not pollute the table.
+    rememberr_obs::reset();
+    rememberr_obs::enable();
+
+    let corpus = SyntheticCorpus::generate(&spec);
+    let (documents, defects) =
+        extract_corpus(corpus.rendered.iter().map(|r| (r.design, r.text.as_str())))
+            .map_err(|e| e.to_string())?;
+    let mut db = Database::from_documents_opts(&documents, DedupStrategy::default(), candidates);
+    let run = classify_database_with(
+        &mut db,
+        &Rules::standard(),
+        HumanOracle::Simulated(&corpus.truth),
+        &FourEyesConfig::default(),
+        matcher,
+    );
+    let report = FullReport::build(&db, run.four_eyes.as_ref(), Some(defects));
+    drop(report);
+
+    // Clone rather than take: `--trace-out` still exports the same spans
+    // after this command returns.
+    let spans = rememberr_obs::stitch_spans(rememberr_obs::completed_spans());
+    let rows = rememberr_obs::profile_rows(&spans);
+    let wall_ns = rememberr_obs::root_wall_ns(&spans);
+    let snap = rememberr_obs::snapshot();
+
+    let mut out = format!(
+        "pipeline profile: scale {scale}, seed {}, jobs {} ({} unique errata)\n\n",
+        spec.seed,
+        rememberr_par::jobs(),
+        run.stats.unique_errata,
+    );
+    out.push_str(&rememberr_obs::render_profile(&rows, wall_ns));
+    out.push('\n');
+    out.push_str(&render_worker_utilization(&snap));
+    Ok(out)
+}
+
+/// Renders the snapshot's `par` section: per-worker busy time and task
+/// counts plus the max/min busy-time imbalance ratio.
+fn render_worker_utilization(snap: &rememberr_obs::Snapshot) -> String {
+    let mut out = String::from("workers (wall clock):\n");
+    if snap.par.is_empty() {
+        out.push_str("  (none — sequential run)\n");
+        return out;
+    }
+    let busiest = snap.par.values().map(|w| w.busy_ns).max().unwrap_or(0);
+    for (name, w) in &snap.par {
+        let share = if busiest == 0 {
+            0.0
+        } else {
+            100.0 * w.busy_ns as f64 / busiest as f64
+        };
+        out.push_str(&format!(
+            "  {name}  busy {:>10.3} ms  tasks {:>6}  {share:>5.1}% of busiest\n",
+            w.busy_ns as f64 / 1e6,
+            w.tasks,
+        ));
+    }
+    match snap.worker_imbalance() {
+        Some(ratio) => {
+            out.push_str(&format!("  imbalance ratio (max/min busy): {ratio:.2}\n"));
+        }
+        None => out.push_str("  imbalance ratio: n/a (fewer than two workers)\n"),
+    }
+    out
+}
+
 /// `rememberr stats --metrics m.json` or `rememberr stats --db DB.jsonl`
 ///
 /// Pretty-prints a metrics snapshot: either one previously written with
@@ -295,6 +534,10 @@ fn render_snapshot(snap: &rememberr_obs::Snapshot) -> String {
             h.max_ns as f64 / 1e6,
         ));
     }
+    if !snap.par.is_empty() {
+        out.push('\n');
+        out.push_str(&render_worker_utilization(snap));
+    }
     out
 }
 
@@ -308,16 +551,34 @@ USAGE:
   rememberr classify --db DB.jsonl --out DB.jsonl [--truth truth.json] [--no-humans]
                      [--classify-matcher indexed|exhaustive]
   rememberr report   --db DB.jsonl [--csv-dir DIR]
+  rememberr report   --bench [--bench-dedup FILE] [--bench-classify FILE]
   rememberr query    --db DB.jsonl [--vendor intel|amd] [--trigger CODE]...
                      [--context CODE]... [--effect CODE]... [--min-triggers N]
                      [--unique] [--limit N]
   rememberr campaign --db DB.jsonl [--steps N] [--triggers N] [--effects N]
   rememberr export   --db DB.jsonl --out records.txt
   rememberr stats    --metrics m.json | --db DB.jsonl
+  rememberr profile  [--scale F] [--seed N] [--jobs N]
 
 OBSERVABILITY (any command):
   --trace              print the span tree of the run to stderr
   --metrics-out FILE   write a JSON metrics snapshot after the run
+  --trace-out FILE     write a Chrome trace-event JSON of the run (load in
+                       chrome://tracing or https://ui.perfetto.dev); one
+                       lane per worker thread
+
+PROFILE:
+  rememberr profile runs the full in-process pipeline (generate ->
+  extract -> dedup -> classify -> analyze) with profiling on and prints a
+  per-stage self/child-time table plus per-worker utilization and the
+  busy-time imbalance ratio. Combine with --trace-out for a trace of the
+  same run.
+
+BENCH REPORT:
+  rememberr report --bench reads the committed benchmark baselines
+  (BENCH_dedup.json, BENCH_classify.json) and renders the perf trajectory
+  with PASS/FAIL against the pinned gates; exits nonzero on a schema
+  violation or gate failure.
 
 PARALLELISM (any command):
   --jobs N             worker threads for parallel stages (default: all
@@ -349,6 +610,12 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
     // rendering, extraction, the dedup cascade, classification, analysis).
     // Validated up front so `--jobs 0`/garbage fails before any work.
     rememberr_par::set_jobs(args.jobs()?);
+    // `profile` owns its own span lifecycle: it resets the collector and
+    // reads completed spans before returning, so an enclosing root span
+    // (still open at that point) would orphan every stage underneath it.
+    if args.command == "profile" {
+        return cmd_profile(args);
+    }
     // Root span of the trace tree: every stage span nests under the
     // command that triggered it.
     let _span = rememberr_obs::span_with_detail("cli.run", args.command.clone());

@@ -8,15 +8,19 @@
 //! rememberr-cli query    --db db.jsonl --trigger Trg_CFG_wrg --unique
 //! rememberr-cli campaign --db db.jsonl --steps 10
 //! rememberr-cli stats    --metrics m.json
+//! rememberr-cli profile  --scale 0.25 --jobs 2 --trace-out trace.json
 //! ```
 //!
-//! Every command accepts two observability options:
+//! Every command accepts three observability options:
 //!
 //! * `--trace` prints the hierarchical span tree of the run to stderr;
 //! * `--metrics-out FILE` writes a JSON metrics snapshot (deterministic
-//!   event counters plus wall-clock duration histograms) after the run.
+//!   event counters plus wall-clock duration histograms) after the run;
+//! * `--trace-out FILE` writes the stitched span tree as Chrome
+//!   trace-event JSON, loadable in `chrome://tracing` or Perfetto, with
+//!   one lane per worker thread.
 //!
-//! Collection is disabled unless one of the two is given, so normal runs
+//! Collection is disabled unless one of the three is given, so normal runs
 //! pay only a relaxed atomic load per instrumentation point.
 //!
 //! Every command also accepts `--jobs N`, the worker-thread count for the
@@ -30,7 +34,30 @@
 mod args;
 mod commands;
 
+use std::path::Path;
 use std::process::ExitCode;
+
+/// Checks that `path` is plausibly writable *before* the run: not an
+/// existing directory, and inside a parent directory that exists. Catching
+/// this up front means a multi-minute pipeline run cannot end by throwing
+/// away its trace on a typo'd path.
+fn validate_out_path(option: &str, path: &str) -> Result<(), String> {
+    let p = Path::new(path);
+    if p.is_dir() {
+        return Err(format!(
+            "--{option} {path}: is a directory, expected a file path"
+        ));
+    }
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            return Err(format!(
+                "--{option} {path}: parent directory {} does not exist",
+                parent.display()
+            ));
+        }
+    }
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -44,7 +71,16 @@ fn main() -> ExitCode {
 
     let trace = parsed.has_flag("trace");
     let metrics_out = parsed.get("metrics-out").map(str::to_string);
-    if trace || metrics_out.is_some() {
+    let trace_out = parsed.get("trace-out").map(str::to_string);
+    for (option, path) in [("metrics-out", &metrics_out), ("trace-out", &trace_out)] {
+        if let Some(path) = path {
+            if let Err(e) = validate_out_path(option, path) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if trace || metrics_out.is_some() || trace_out.is_some() {
         rememberr_obs::enable();
     }
 
@@ -59,6 +95,14 @@ fn main() -> ExitCode {
         let json = rememberr_obs::snapshot().to_json();
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("error: cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = trace_out {
+        let spans = rememberr_obs::take_spans_stitched();
+        let json = rememberr_obs::chrome_trace(&spans);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write trace to {path}: {e}");
             return ExitCode::FAILURE;
         }
     }

@@ -1,6 +1,7 @@
 //! End-to-end tests of the installed binary: argument rejection, the
 //! generate/extract round trip, and the observability surface
-//! (`--metrics-out`, `--trace`, `stats`).
+//! (`--metrics-out`, `--trace`, `--trace-out`, `stats`, `profile`,
+//! `report --bench`).
 
 use std::fs;
 use std::path::PathBuf;
@@ -198,13 +199,16 @@ fn jobs_runs_are_byte_identical() {
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
 
-    // The same seeded corpus, extracted at three worker counts: database
-    // bytes and metric counter sections must be identical (durations are
-    // wall clock and may differ).
+    // The same seeded corpus, extracted at three worker counts with full
+    // profiling enabled (`--trace-out` turns the span collector on):
+    // database bytes and metric counter sections must be identical
+    // (durations, spans, and worker telemetry are wall clock and may
+    // differ).
     let mut baseline: Option<(Vec<u8>, String)> = None;
     for jobs in ["1", "2", "8"] {
         let db = tmp(&format!("jobs{jobs}-db.jsonl"));
         let metrics = tmp(&format!("jobs{jobs}-metrics.json"));
+        let trace = tmp(&format!("jobs{jobs}-trace.json"));
         let out = run(&[
             "extract",
             "--docs",
@@ -213,6 +217,8 @@ fn jobs_runs_are_byte_identical() {
             db.to_str().unwrap(),
             "--metrics-out",
             metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
             "--jobs",
             jobs,
         ]);
@@ -228,10 +234,208 @@ fn jobs_runs_are_byte_identical() {
                 assert_eq!(&counters, want_counters, "counters differ at --jobs {jobs}");
             }
         }
+        assert!(trace.exists(), "--jobs {jobs}: no trace written");
         let _ = fs::remove_file(&db);
         let _ = fs::remove_file(&metrics);
+        let _ = fs::remove_file(&trace);
     }
     let _ = fs::remove_dir_all(&dir);
+}
+
+/// The `ph:"X"` complete events of a parsed Chrome trace, as
+/// `(name, tid)` pairs.
+fn complete_events(trace: &serde::Value) -> Vec<(String, u64)> {
+    trace
+        .get("traceEvents")
+        .and_then(serde::Value::as_array)
+        .expect("traceEvents array")
+        .iter()
+        .filter(|e| e.get("ph").and_then(serde::Value::as_str) == Some("X"))
+        .map(|e| {
+            let name = e.get("name").and_then(serde::Value::as_str).unwrap();
+            let tid: u64 = serde::Deserialize::from_value(e.get("tid").unwrap()).unwrap();
+            (name.to_string(), tid)
+        })
+        .collect()
+}
+
+#[test]
+fn trace_out_writes_a_chrome_trace_with_bounded_worker_lanes() {
+    let dir = tmp("trace-corpus");
+    let db = tmp("trace-db.jsonl");
+    let trace_path = tmp("trace.json");
+    let out = run(&[
+        "generate",
+        "--out",
+        dir.to_str().unwrap(),
+        "--scale",
+        "0.05",
+        "--seed",
+        "17",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let out = run(&[
+        "extract",
+        "--docs",
+        dir.to_str().unwrap(),
+        "--out",
+        db.to_str().unwrap(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--jobs",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // The file is JSON our serde round-trips, in Chrome trace-event shape.
+    let text = fs::read_to_string(&trace_path).unwrap();
+    let trace: serde::Value = serde_json::from_str(&text).expect("trace parses");
+    let events = complete_events(&trace);
+    let names: Vec<&str> = events.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.contains(&"cli.run"), "{names:?}");
+    assert!(names.contains(&"extract.document"), "{names:?}");
+    assert!(names.contains(&"dedup.assign_keys"), "{names:?}");
+
+    // One lane per worker: the par.worker events occupy at most --jobs
+    // distinct tids, none of them the main lane (tid 0).
+    let worker_tids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|(n, _)| n == "par.worker")
+        .map(|&(_, tid)| tid)
+        .collect();
+    assert!(!worker_tids.is_empty(), "no worker spans in {names:?}");
+    assert!(worker_tids.len() <= 2, "{worker_tids:?}");
+    assert!(!worker_tids.contains(&0), "{worker_tids:?}");
+
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_file(&db);
+    let _ = fs::remove_file(&trace_path);
+}
+
+#[test]
+fn bad_output_paths_fail_before_any_work() {
+    // A directory target and a missing parent directory are both rejected
+    // up front; nothing else is written (no corpus --out dir appears).
+    let dir = tmp("validate-dir");
+    fs::create_dir_all(&dir).unwrap();
+    let never = tmp("never-created");
+    for flag in ["--metrics-out", "--trace-out"] {
+        let out = run(&[
+            "generate",
+            "--out",
+            never.to_str().unwrap(),
+            "--scale",
+            "0.02",
+            flag,
+            dir.to_str().unwrap(),
+        ]);
+        assert!(!out.status.success(), "{flag} accepted a directory");
+        let err = stderr(&out);
+        assert!(err.contains("is a directory"), "{flag}: {err}");
+
+        let orphan = dir.join("no-such-subdir").join("out.json");
+        let out = run(&[
+            "generate",
+            "--out",
+            never.to_str().unwrap(),
+            "--scale",
+            "0.02",
+            flag,
+            orphan.to_str().unwrap(),
+        ]);
+        assert!(!out.status.success(), "{flag} accepted a missing parent");
+        let err = stderr(&out);
+        assert!(err.contains("does not exist"), "{flag}: {err}");
+    }
+    assert!(!never.exists(), "command ran despite invalid output path");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_prints_stage_table_and_worker_utilization() {
+    let trace_path = tmp("profile-trace.json");
+    let out = run(&[
+        "profile",
+        "--scale",
+        "0.05",
+        "--seed",
+        "23",
+        "--jobs",
+        "2",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // The self/child-time table header and the pipeline stages.
+    assert!(text.contains("self ms"), "{text}");
+    assert!(text.contains("child ms"), "{text}");
+    assert!(text.contains("total ms"), "{text}");
+    assert!(text.contains("extract.document"), "{text}");
+    assert!(text.contains("dedup.assign_keys"), "{text}");
+    assert!(text.contains("classify.database"), "{text}");
+    assert!(text.contains("analysis.full_report"), "{text}");
+    // Worker utilization plus the imbalance ratio.
+    assert!(text.contains("workers (wall clock):"), "{text}");
+    assert!(text.contains("w00"), "{text}");
+    assert!(text.contains("imbalance ratio"), "{text}");
+    // The same run also exported its trace, with the stage spans in it.
+    let trace: serde::Value =
+        serde_json::from_str(&fs::read_to_string(&trace_path).unwrap()).unwrap();
+    let events = complete_events(&trace);
+    assert!(events.iter().any(|(n, _)| n == "extract.corpus"));
+    let _ = fs::remove_file(&trace_path);
+}
+
+#[test]
+fn report_bench_passes_on_committed_baselines_and_rejects_garbage() {
+    // The committed baselines at the repo root must parse, carry the
+    // pinned gate fields, and pass their gates.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dedup = root.join("BENCH_dedup.json");
+    let classify = root.join("BENCH_classify.json");
+    let out = run(&[
+        "report",
+        "--bench",
+        "--bench-dedup",
+        dedup.to_str().unwrap(),
+        "--bench-classify",
+        classify.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("bench trajectory: dedup candidate generation"));
+    assert!(text.contains("bench trajectory: classification rule matching"));
+    assert!(text.contains("all pinned gates PASS"), "{text}");
+    assert!(!text.contains("FAIL"), "{text}");
+
+    // A baseline with the wrong schema tag is a hard error (this is the
+    // CI schema check).
+    let bogus = tmp("bogus-bench.json");
+    fs::write(&bogus, "{\"schema\": \"rememberr-bench-dedup/v999\"}").unwrap();
+    let out = run(&[
+        "report",
+        "--bench",
+        "--bench-dedup",
+        bogus.to_str().unwrap(),
+        "--bench-classify",
+        classify.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("schema"), "{}", stderr(&out));
+
+    // And so is a file that is not JSON at all.
+    fs::write(&bogus, "not json").unwrap();
+    let out = run(&[
+        "report",
+        "--bench",
+        "--bench-dedup",
+        bogus.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("not valid JSON"), "{}", stderr(&out));
+    let _ = fs::remove_file(&bogus);
 }
 
 #[test]

@@ -55,12 +55,17 @@ impl SyntheticCorpus {
     pub fn try_generate(spec: &CorpusSpec) -> Result<Self, crate::spec::SpecError> {
         let _span = rememberr_obs::span!("docgen.generate");
         spec.validate()?;
-        let AssembledCorpus { documents, truth } = assemble(spec);
+        let AssembledCorpus { documents, truth } = {
+            let _span = rememberr_obs::span!("docgen.assemble");
+            assemble(spec)
+        };
         // Rendering is pure per document (all randomness happened during
         // assembly), so documents fan out across workers; par_map returns
         // them in input order, keeping `rendered` aligned with `structured`.
-        let rendered: Vec<_> =
-            rememberr_par::par_map(&documents, |doc| render_document(doc, &truth.defects));
+        let rendered: Vec<_> = {
+            let _span = rememberr_obs::span!("docgen.render");
+            rememberr_par::par_map(&documents, |doc| render_document(doc, &truth.defects))
+        };
         rememberr_obs::count("docgen.documents_rendered", rendered.len() as u64);
         rememberr_obs::count(
             "docgen.errata_planted",

@@ -1,0 +1,362 @@
+//! Span exporters: Chrome trace-event JSON (loadable in `chrome://tracing`
+//! and Perfetto) and an aggregated per-stage profile table.
+
+use std::collections::BTreeMap;
+
+use serde::{Number, Value};
+
+use crate::span::SpanRecord;
+
+/// One flattened span, ready to become a trace event.
+struct FlatSpan<'a> {
+    record: &'a SpanRecord,
+}
+
+fn flatten<'a>(record: &'a SpanRecord, out: &mut Vec<FlatSpan<'a>>) {
+    out.push(FlatSpan { record });
+    for child in &record.children {
+        flatten(child, out);
+    }
+}
+
+/// Human label for a lane: `main`, `worker-NN`, or `aux-NN`.
+#[must_use]
+pub fn lane_name(lane: u32) -> String {
+    if lane == crate::MAIN_LANE {
+        "main".to_string()
+    } else if lane < crate::AUX_LANE_BASE {
+        format!("worker-{:02}", lane - 1)
+    } else {
+        format!("aux-{:02}", lane - crate::AUX_LANE_BASE)
+    }
+}
+
+/// Renders spans as Chrome trace-event JSON.
+///
+/// The output is one JSON object `{"traceEvents": [...], "displayTimeUnit":
+/// "ms"}` containing a `thread_name` metadata event per lane followed by a
+/// complete (`"ph": "X"`) event per span with microsecond `ts`/`dur`, so
+/// each `par_map` worker renders as its own lane. Span `id`/`parent` ids
+/// ride along in `args` for tools that reconstruct the stitched tree.
+/// Stitching is not required first — events carry absolute timestamps —
+/// but stitched input produces identical events.
+#[must_use]
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut flat = Vec::new();
+    for record in spans {
+        flatten(record, &mut flat);
+    }
+    // Deterministic event order: by start time, then allocation order.
+    flat.sort_by_key(|f| (f.record.start_ns, f.record.id));
+
+    let mut lanes: Vec<u32> = flat.iter().map(|f| f.record.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+
+    let mut events: Vec<Value> = Vec::with_capacity(lanes.len() + flat.len());
+    for lane in lanes {
+        events.push(Value::Object(vec![
+            ("ph".to_string(), Value::String("M".to_string())),
+            ("name".to_string(), Value::String("thread_name".to_string())),
+            ("pid".to_string(), Value::Number(Number::PosInt(1))),
+            (
+                "tid".to_string(),
+                Value::Number(Number::PosInt(u64::from(lane))),
+            ),
+            (
+                "args".to_string(),
+                Value::Object(vec![("name".to_string(), Value::String(lane_name(lane)))]),
+            ),
+        ]));
+    }
+    for FlatSpan { record } in flat {
+        let mut args = vec![("id".to_string(), Value::Number(Number::PosInt(record.id)))];
+        if let Some(parent) = record.parent {
+            args.push(("parent".to_string(), Value::Number(Number::PosInt(parent))));
+        }
+        if let Some(detail) = &record.detail {
+            args.push(("detail".to_string(), Value::String(detail.clone())));
+        }
+        events.push(Value::Object(vec![
+            ("ph".to_string(), Value::String("X".to_string())),
+            ("name".to_string(), Value::String(record.name.clone())),
+            ("cat".to_string(), Value::String("rememberr".to_string())),
+            ("pid".to_string(), Value::Number(Number::PosInt(1))),
+            (
+                "tid".to_string(),
+                Value::Number(Number::PosInt(u64::from(record.lane))),
+            ),
+            (
+                "ts".to_string(),
+                Value::Number(Number::Float(record.start_ns as f64 / 1e3)),
+            ),
+            (
+                "dur".to_string(),
+                Value::Number(Number::Float(record.elapsed_ns as f64 / 1e3)),
+            ),
+            ("args".to_string(), Value::Object(args)),
+        ]));
+    }
+    let doc = Value::Object(vec![
+        ("traceEvents".to_string(), Value::Array(events)),
+        (
+            "displayTimeUnit".to_string(),
+            Value::String("ms".to_string()),
+        ),
+    ]);
+    serde_json::to_string(&doc).expect("trace serialization is infallible")
+}
+
+/// One aggregated profile row: every span sharing a name, with the time
+/// split into *self* (in the span, outside any child) and *child* (inside
+/// direct children — summed across lanes, so concurrent children can
+/// exceed the parent's wall time).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Span name (`stage.noun_verb`).
+    pub name: String,
+    /// Number of spans aggregated.
+    pub calls: u64,
+    /// Total wall time across calls.
+    pub total_ns: u64,
+    /// Time inside direct children.
+    pub child_ns: u64,
+    /// `total - child`, saturating at zero (concurrent children on other
+    /// lanes can out-sum their parent).
+    pub self_ns: u64,
+}
+
+/// Aggregates a **stitched** span forest into per-name profile rows,
+/// sorted by self time (descending, name-ascending on ties). The row set
+/// and call counts are deterministic for a fixed workload; only the times
+/// vary run to run.
+#[must_use]
+pub fn profile_rows(spans: &[SpanRecord]) -> Vec<ProfileRow> {
+    fn visit(record: &SpanRecord, acc: &mut BTreeMap<String, ProfileRow>) {
+        let child_ns: u64 = record
+            .children
+            .iter()
+            .map(|c| c.elapsed_ns)
+            .fold(0, u64::saturating_add);
+        let row = acc
+            .entry(record.name.clone())
+            .or_insert_with(|| ProfileRow {
+                name: record.name.clone(),
+                calls: 0,
+                total_ns: 0,
+                child_ns: 0,
+                self_ns: 0,
+            });
+        row.calls += 1;
+        row.total_ns = row.total_ns.saturating_add(record.elapsed_ns);
+        row.child_ns = row.child_ns.saturating_add(child_ns);
+        row.self_ns = row
+            .self_ns
+            .saturating_add(record.elapsed_ns.saturating_sub(child_ns));
+        for child in &record.children {
+            visit(child, acc);
+        }
+    }
+    let mut acc = BTreeMap::new();
+    for record in spans {
+        visit(record, &mut acc);
+    }
+    let mut rows: Vec<ProfileRow> = acc.into_values().collect();
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+    rows
+}
+
+/// Total wall time of a stitched forest: the sum of root span durations
+/// (the denominator for the profile table's `% of total` column).
+#[must_use]
+pub fn root_wall_ns(spans: &[SpanRecord]) -> u64 {
+    spans
+        .iter()
+        .map(|r| r.elapsed_ns)
+        .fold(0, u64::saturating_add)
+}
+
+/// Renders profile rows as an aligned text table with a `self%`-of-total
+/// column (`wall_ns` is the denominator, normally [`root_wall_ns`]).
+#[must_use]
+pub fn render_profile(rows: &[ProfileRow], wall_ns: u64) -> String {
+    let name_width = rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = format!(
+        "{:name_width$}  {:>6}  {:>12}  {:>12}  {:>12}  {:>6}\n",
+        "span", "calls", "self ms", "child ms", "total ms", "self%"
+    );
+    for row in rows {
+        let pct = if wall_ns == 0 {
+            0.0
+        } else {
+            100.0 * row.self_ns as f64 / wall_ns as f64
+        };
+        out.push_str(&format!(
+            "{:name_width$}  {:>6}  {:>12.3}  {:>12.3}  {:>12.3}  {:>5.1}%\n",
+            row.name,
+            row.calls,
+            row.self_ns as f64 / 1e6,
+            row.child_ns as f64 / 1e6,
+            row.total_ns as f64 / 1e6,
+            pct,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::{exclusive, teardown};
+
+    fn record(
+        id: u64,
+        name: &str,
+        start_ns: u64,
+        elapsed_ns: u64,
+        lane: u32,
+        children: Vec<SpanRecord>,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: None,
+            name: name.to_string(),
+            detail: None,
+            start_ns,
+            elapsed_ns,
+            lane,
+            children,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_trace_event_json() {
+        let spans = vec![record(
+            1,
+            "stage.outer",
+            0,
+            10_000_000,
+            0,
+            vec![record(2, "stage.inner", 1_000_000, 2_000_000, 1, vec![])],
+        )];
+        let json = chrome_trace(&spans);
+        let doc: Value = serde_json::from_str(&json).expect("trace parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        // Two lane-name metadata events + two span events.
+        assert_eq!(events.len(), 4);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").and_then(Value::as_str).expect("ph"))
+            .collect();
+        assert_eq!(phases, ["M", "M", "X", "X"]);
+        let lane_names: Vec<&str> = events[..2]
+            .iter()
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(lane_names, ["main", "worker-00"]);
+        for event in &events[2..] {
+            assert!(event.get("ts").is_some());
+            assert!(event.get("dur").is_some());
+            assert!(event.get("tid").is_some());
+            assert!(event.get("args").and_then(|a| a.get("id")).is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_events_are_time_ordered() {
+        let spans = vec![
+            record(7, "stage.late", 5_000, 1_000, 0, vec![]),
+            record(3, "stage.early", 1_000, 1_000, 0, vec![]),
+        ];
+        let json = chrome_trace(&spans);
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .map(|e| e.get("name").and_then(Value::as_str).unwrap())
+            .collect();
+        assert_eq!(names, ["stage.early", "stage.late"]);
+    }
+
+    #[test]
+    fn profile_rows_split_self_and_child_time() {
+        let spans = vec![record(
+            1,
+            "stage.parent",
+            0,
+            10_000_000,
+            0,
+            vec![
+                record(2, "stage.child", 0, 3_000_000, 0, vec![]),
+                record(3, "stage.child", 3_000_000, 1_000_000, 0, vec![]),
+            ],
+        )];
+        let rows = profile_rows(&spans);
+        assert_eq!(rows.len(), 2);
+        let parent = rows.iter().find(|r| r.name == "stage.parent").unwrap();
+        assert_eq!(parent.calls, 1);
+        assert_eq!(parent.total_ns, 10_000_000);
+        assert_eq!(parent.child_ns, 4_000_000);
+        assert_eq!(parent.self_ns, 6_000_000);
+        let child = rows.iter().find(|r| r.name == "stage.child").unwrap();
+        assert_eq!(child.calls, 2);
+        assert_eq!(child.self_ns, 4_000_000);
+        // Sorted by self time descending.
+        assert_eq!(rows[0].name, "stage.parent");
+        assert_eq!(root_wall_ns(&spans), 10_000_000);
+    }
+
+    #[test]
+    fn concurrent_children_saturate_self_time_at_zero() {
+        // Two workers of 8 ms each under a 10 ms parent: child sum exceeds
+        // the parent's wall clock, so self time clamps to 0.
+        let spans = vec![record(
+            1,
+            "stage.fanout",
+            0,
+            10_000_000,
+            0,
+            vec![
+                record(2, "par.worker", 0, 8_000_000, 1, vec![]),
+                record(3, "par.worker", 0, 8_000_000, 2, vec![]),
+            ],
+        )];
+        let rows = profile_rows(&spans);
+        let parent = rows.iter().find(|r| r.name == "stage.fanout").unwrap();
+        assert_eq!(parent.child_ns, 16_000_000);
+        assert_eq!(parent.self_ns, 0);
+    }
+
+    #[test]
+    fn live_spans_export_end_to_end() {
+        let _gate = exclusive();
+        {
+            let _root = crate::span!("test.export_root");
+            let _leaf = crate::span!("test.export_leaf");
+        }
+        let spans = crate::take_spans_stitched();
+        let json = chrome_trace(&spans);
+        let doc: Value = serde_json::from_str(&json).expect("parses");
+        assert!(doc.get("traceEvents").is_some());
+        let rows = profile_rows(&spans);
+        assert_eq!(rows.len(), 2);
+        let table = render_profile(&rows, root_wall_ns(&spans));
+        assert!(table.contains("test.export_root"), "{table}");
+        assert!(table.contains("self ms"), "{table}");
+        teardown();
+    }
+}

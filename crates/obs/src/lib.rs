@@ -16,6 +16,12 @@
 //!   `extract.pages_scanned`, `dedup.comparisons_made`,
 //!   `classify.rules_fired`. Stages: `docgen`, `extract`, `dedup`,
 //!   `persist`, `classify`, `analysis`.
+//! * **Cross-thread stitching and export.** Spans carry ids, start
+//!   timestamps and lanes; work fanned out to `par`/`join` threads adopts
+//!   the spawning span via [`worker_scope`]/[`aux_scope`] and
+//!   [`stitch_spans`] re-homes it afterwards, so [`chrome_trace`]
+//!   (Perfetto-loadable, one lane per worker) and [`profile_rows`]
+//!   (per-stage self/child time) see one connected tree per run.
 //!
 //! # Example
 //!
@@ -35,13 +41,19 @@
 
 #![forbid(unsafe_code)]
 
+mod export;
 mod metrics;
 mod span;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-pub use metrics::{Histogram, Snapshot, BUCKETS};
-pub use span::{render_trace, span, span_with_detail, take_spans, Span, SpanRecord};
+pub use export::{chrome_trace, lane_name, profile_rows, render_profile, root_wall_ns, ProfileRow};
+pub use metrics::{Histogram, Snapshot, WorkerStats, BUCKETS};
+pub use span::{
+    aux_scope, completed_spans, current_span_id, render_trace, span, span_with_detail,
+    stitch_spans, take_spans, take_spans_stitched, worker_lane, worker_scope, ScopeGuard, Span,
+    SpanRecord, AUX_LANE_BASE, MAIN_LANE,
+};
 
 /// Master switch; collection is off until [`enable`] is called.
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -80,6 +92,17 @@ pub fn count(name: &'static str, delta: u64) {
 pub fn record_ns(name: &'static str, nanos: u64) {
     if is_enabled() {
         metrics::add_duration(name, nanos);
+    }
+}
+
+/// Accumulates wall-clock utilization for `par_map` worker slot `index`
+/// (busy nanoseconds and items processed). Worker stats land in the
+/// [`Snapshot::par`] section — wall clock, never mixed into the
+/// deterministic counters. No-op while collection is off.
+#[inline]
+pub fn record_worker(index: usize, busy_ns: u64, tasks: u64) {
+    if is_enabled() {
+        metrics::add_worker(index, busy_ns, tasks);
     }
 }
 

@@ -21,11 +21,13 @@ const _: () = assert!(BUCKETS == u64::BITS as usize);
 struct Registry {
     counters: BTreeMap<&'static str, u64>,
     durations: BTreeMap<&'static str, Histogram>,
+    workers: BTreeMap<String, WorkerStats>,
 }
 
 static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
     counters: BTreeMap::new(),
     durations: BTreeMap::new(),
+    workers: BTreeMap::new(),
 });
 
 fn registry() -> std::sync::MutexGuard<'static, Registry> {
@@ -45,6 +47,13 @@ pub(crate) fn add_duration(name: &'static str, nanos: u64) {
     reg.durations.entry(name).or_default().record(nanos);
 }
 
+pub(crate) fn add_worker(index: usize, busy_ns: u64, tasks: u64) {
+    let mut reg = registry();
+    let stats = reg.workers.entry(format!("w{index:02}")).or_default();
+    stats.busy_ns = stats.busy_ns.saturating_add(busy_ns);
+    stats.tasks = stats.tasks.saturating_add(tasks);
+}
+
 pub(crate) fn snapshot() -> Snapshot {
     let reg = registry();
     Snapshot {
@@ -58,6 +67,7 @@ pub(crate) fn snapshot() -> Snapshot {
             .iter()
             .map(|(name, histogram)| ((*name).to_string(), histogram.clone()))
             .collect(),
+        par: reg.workers.clone(),
     }
 }
 
@@ -65,6 +75,7 @@ pub(crate) fn reset() {
     let mut reg = registry();
     reg.counters.clear();
     reg.durations.clear();
+    reg.workers.clear();
 }
 
 /// A log-scale histogram of durations in nanoseconds.
@@ -118,18 +129,33 @@ impl Histogram {
     }
 }
 
+/// Wall-clock utilization of one `par_map` worker slot, accumulated
+/// across every parallel call in the run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Nanoseconds the worker slot spent executing (spawn to finish).
+    pub busy_ns: u64,
+    /// Items the worker slot processed.
+    pub tasks: u64,
+}
+
 /// A point-in-time copy of the registry, JSON-exportable.
 ///
 /// The `counters` section is deterministic for a fixed input and seed;
-/// `durations` is wall-clock and varies run to run. Consumers comparing
-/// runs must compare `counters` only — that is why the two live in
-/// separate top-level JSON keys.
+/// `durations` and `par` are wall-clock and vary run to run. Consumers
+/// comparing runs must compare `counters` only — that is why the sections
+/// live in separate top-level JSON keys.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Snapshot {
     /// Deterministic event counts, name-ascending.
     pub counters: BTreeMap<String, u64>,
     /// Nondeterministic duration histograms, name-ascending.
     pub durations: BTreeMap<String, Histogram>,
+    /// Per-worker utilization (`w00`, `w01`, …), wall clock like
+    /// `durations`; empty on sequential runs and in snapshots written
+    /// before this section existed.
+    #[serde(default)]
+    pub par: BTreeMap<String, WorkerStats>,
 }
 
 impl Snapshot {
@@ -144,6 +170,19 @@ impl Snapshot {
     #[must_use]
     pub fn counters_json(&self) -> String {
         serde_json::to_string(&self.counters).expect("counter serialization is infallible")
+    }
+
+    /// Worker busy-time imbalance: the busiest worker's `busy_ns` over the
+    /// least busy one's. `1.0` is perfectly balanced; `None` when fewer
+    /// than two workers reported or the minimum is zero.
+    #[must_use]
+    pub fn worker_imbalance(&self) -> Option<f64> {
+        if self.par.len() < 2 {
+            return None;
+        }
+        let max = self.par.values().map(|w| w.busy_ns).max()?;
+        let min = self.par.values().map(|w| w.busy_ns).min()?;
+        (min > 0).then(|| max as f64 / min as f64)
     }
 }
 
@@ -213,6 +252,33 @@ mod tests {
         assert_eq!(first, second);
         assert!(first.contains("\"dedup.comparisons_made\":42"));
         teardown();
+    }
+
+    #[test]
+    fn worker_stats_accumulate_and_stay_out_of_counters() {
+        let _gate = exclusive();
+        crate::record_worker(0, 4_000, 10);
+        crate::record_worker(1, 1_000, 2);
+        crate::record_worker(0, 2_000, 5);
+        let snap = crate::snapshot();
+        assert_eq!(snap.par["w00"].busy_ns, 6_000);
+        assert_eq!(snap.par["w00"].tasks, 15);
+        assert_eq!(snap.par["w01"].busy_ns, 1_000);
+        assert!(snap.counters.is_empty(), "{:?}", snap.counters);
+        assert_eq!(snap.worker_imbalance(), Some(6.0));
+        // Round trip keeps the section; counters_json ignores it.
+        let parsed: Snapshot = serde_json::from_str(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(snap.counters_json(), "{}");
+        teardown();
+    }
+
+    #[test]
+    fn snapshots_without_a_par_section_still_parse() {
+        let text = r#"{"counters":{"a.b":1},"durations":{}}"#;
+        let snap: Snapshot = serde_json::from_str(text).expect("legacy snapshot parses");
+        assert!(snap.par.is_empty());
+        assert_eq!(snap.worker_imbalance(), None);
     }
 
     #[test]

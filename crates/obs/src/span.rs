@@ -1,45 +1,117 @@
 //! Hierarchical tracing spans: RAII guards that time a region, nest via a
 //! thread-local stack, and publish completed root spans to a global
-//! collector for text-tree or JSON rendering.
+//! collector for text-tree, profile-table, or Chrome-trace rendering.
+//!
+//! # Cross-thread stitching
+//!
+//! Every span gets a process-unique `id` and records the `id` of its
+//! parent. Same-thread nesting is structural (children live inside their
+//! parent's `children` vector). Work that hops threads — `par_map` workers,
+//! `join` lanes — opens a [`worker_scope`]/[`aux_scope`] on the new thread
+//! carrying the *spawning* span's id; spans completed there become roots in
+//! the global collector tagged with that parent id, and [`stitch_spans`]
+//! re-homes them under the spawning span afterwards. The scope guard also
+//! flushes any frames still open when the thread's work ends, so a leaked
+//! guard loses timing precision, never whole subtrees.
+//!
+//! # Lanes
+//!
+//! Each span records the `lane` it ran on: `0` is the spawning/main
+//! thread, `1..=N` are `par_map` worker slots (stable across calls, so a
+//! Chrome trace shows one lane per worker), and lanes from
+//! [`AUX_LANE_BASE`] up are short-lived `join` threads (allocated from a
+//! free pool so they stay dense).
 
 use std::cell::RefCell;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+/// Lane of the spawning/main thread.
+pub const MAIN_LANE: u32 = 0;
+
+/// First lane used for auxiliary (`join`) threads; `par_map` worker lanes
+/// sit in `1..AUX_LANE_BASE`.
+pub const AUX_LANE_BASE: u32 = 1_000;
+
+/// The lane of `par_map` worker slot `index` (slot 0 → lane 1; lane 0 is
+/// the spawning thread).
+#[must_use]
+pub fn worker_lane(index: usize) -> u32 {
+    u32::try_from(index + 1).unwrap_or(AUX_LANE_BASE - 1)
+}
+
 /// One completed span with its timed children.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SpanRecord {
+    /// Process-unique span id (allocation order).
+    pub id: u64,
+    /// Id of the enclosing span: the structural parent for same-thread
+    /// nesting, or the adopted spawning span for worker/aux roots.
+    pub parent: Option<u64>,
     /// The static span name (`stage.noun_verb`).
     pub name: String,
     /// Optional per-instance detail, e.g. a document or figure label.
     pub detail: Option<String>,
+    /// Start time, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
     /// Wall-clock duration, monotonic-clock nanoseconds.
     pub elapsed_ns: u64,
-    /// Completed child spans, in completion order.
+    /// Lane (thread slot) the span ran on; see the module docs.
+    pub lane: u32,
+    /// Completed child spans, in completion order ([`stitch_spans`]
+    /// re-sorts by start time).
     pub children: Vec<SpanRecord>,
 }
 
 /// An in-progress span on the thread-local stack.
 struct Frame {
+    id: u64,
     name: &'static str,
     detail: Option<String>,
     start: Instant,
+    start_ns: u64,
     children: Vec<SpanRecord>,
 }
 
+/// Per-thread span context: the open-frame stack plus the lane and adopted
+/// parent installed by [`worker_scope`]/[`aux_scope`].
+struct ThreadCtx {
+    stack: Vec<Frame>,
+    lane: u32,
+    inherited: Option<u64>,
+}
+
 thread_local! {
-    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static CTX: RefCell<ThreadCtx> = const {
+        RefCell::new(ThreadCtx { stack: Vec::new(), lane: MAIN_LANE, inherited: None })
+    };
 }
 
 /// Completed root spans from all threads, in completion order.
 static COMPLETED: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
 
+/// Monotonic span-id source (0 is reserved as "no id").
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The process trace epoch: all `start_ns` values are relative to this.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Released aux lanes available for reuse, plus the next fresh one.
+static AUX_POOL: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+static NEXT_AUX: AtomicU32 = AtomicU32::new(AUX_LANE_BASE);
+
 fn completed() -> std::sync::MutexGuard<'static, Vec<SpanRecord>> {
     COMPLETED
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn now_ns() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// RAII guard returned by [`span`]; closing (dropping) it records the
@@ -67,17 +139,60 @@ fn open(name: &'static str, detail: Option<String>) -> Span {
     if !crate::is_enabled() {
         return Span { depth: usize::MAX };
     }
-    let depth = STACK.with(|stack| {
-        let mut stack = stack.borrow_mut();
-        stack.push(Frame {
+    let start_ns = now_ns();
+    let depth = CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        ctx.stack.push(Frame {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
             name,
             detail,
             start: Instant::now(),
+            start_ns,
             children: Vec::new(),
         });
-        stack.len() - 1
+        ctx.stack.len() - 1
     });
     Span { depth }
+}
+
+/// The id of the innermost open span on this thread, falling back to the
+/// parent adopted from a spawning thread. `None` while collection is off
+/// or outside any span. `par`/`join` capture this before spawning so work
+/// on other threads stitches under the span that fanned it out.
+#[must_use]
+pub fn current_span_id() -> Option<u64> {
+    if !crate::is_enabled() {
+        return None;
+    }
+    CTX.with(|ctx| {
+        let ctx = ctx.borrow();
+        ctx.stack.last().map(|f| f.id).or(ctx.inherited)
+    })
+}
+
+/// Closes every frame above `base_depth` on this thread, publishing the
+/// records (shared by [`Span::drop`] and scope-guard flushing).
+fn close_frames_above(ctx: &mut ThreadCtx, base_depth: usize) {
+    while ctx.stack.len() > base_depth {
+        let frame = ctx.stack.pop().expect("stack holds frames above base");
+        let elapsed_ns = u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        crate::record_ns(frame.name, elapsed_ns);
+        let parent = ctx.stack.last().map(|f| f.id).or(ctx.inherited);
+        let record = SpanRecord {
+            id: frame.id,
+            parent,
+            name: frame.name.to_string(),
+            detail: frame.detail,
+            start_ns: frame.start_ns,
+            elapsed_ns,
+            lane: ctx.lane,
+            children: frame.children,
+        };
+        match ctx.stack.last_mut() {
+            Some(parent_frame) => parent_frame.children.push(record),
+            None => completed().push(record),
+        }
+    }
 }
 
 impl Drop for Span {
@@ -85,27 +200,98 @@ impl Drop for Span {
         if self.depth == usize::MAX {
             return;
         }
-        STACK.with(|stack| {
-            let mut stack = stack.borrow_mut();
-            // Defensive: close any frames opened after this one that were
-            // leaked rather than dropped (they become children).
-            while stack.len() > self.depth {
-                let frame = stack.pop().expect("stack holds this span's frame");
-                let elapsed_ns =
-                    u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                crate::record_ns(frame.name, elapsed_ns);
-                let record = SpanRecord {
-                    name: frame.name.to_string(),
-                    detail: frame.detail,
-                    elapsed_ns,
-                    children: frame.children,
-                };
-                match stack.last_mut() {
-                    Some(parent) => parent.children.push(record),
-                    None => completed().push(record),
-                }
-            }
+        CTX.with(|ctx| {
+            // Defensive: frames opened after this one that were leaked
+            // rather than dropped are closed here (they become children).
+            close_frames_above(&mut ctx.borrow_mut(), self.depth);
         });
+    }
+}
+
+/// RAII guard installed on a worker/aux thread for the duration of its
+/// borrowed work; see [`worker_scope`] and [`aux_scope`].
+#[must_use = "the scope guard stitches and flushes this thread's spans when dropped"]
+pub struct ScopeGuard {
+    prev_lane: u32,
+    prev_inherited: Option<u64>,
+    base_depth: usize,
+    /// Aux lane to return to the pool on drop, if one was allocated.
+    aux_lane: Option<u32>,
+    active: bool,
+}
+
+/// Enters a `par_map` worker scope on the current thread: spans opened
+/// here record `lane`, and spans completing at this thread's top level are
+/// tagged with `parent` (the spawning span's id) so [`stitch_spans`] can
+/// re-home them. Dropping the guard **flushes** any frames still open —
+/// a span leaked on a worker is force-closed and published rather than
+/// silently discarded with the thread's stack.
+pub fn worker_scope(lane: u32, parent: Option<u64>) -> ScopeGuard {
+    enter_scope(Some(lane), parent)
+}
+
+/// Like [`worker_scope`] for short-lived `join` threads: the lane is
+/// allocated from a dense reusable pool starting at [`AUX_LANE_BASE`] and
+/// returned when the guard drops.
+pub fn aux_scope(parent: Option<u64>) -> ScopeGuard {
+    enter_scope(None, parent)
+}
+
+fn enter_scope(lane: Option<u32>, parent: Option<u64>) -> ScopeGuard {
+    if !crate::is_enabled() {
+        return ScopeGuard {
+            prev_lane: MAIN_LANE,
+            prev_inherited: None,
+            base_depth: 0,
+            aux_lane: None,
+            active: false,
+        };
+    }
+    let (lane, aux_lane) = match lane {
+        Some(lane) => (lane, None),
+        None => {
+            let lane = {
+                let mut pool = AUX_POOL.lock().unwrap_or_else(|p| p.into_inner());
+                pool.pop()
+                    .unwrap_or_else(|| NEXT_AUX.fetch_add(1, Ordering::Relaxed))
+            };
+            (lane, Some(lane))
+        }
+    };
+    CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        let guard = ScopeGuard {
+            prev_lane: ctx.lane,
+            prev_inherited: ctx.inherited,
+            base_depth: ctx.stack.len(),
+            aux_lane,
+            active: true,
+        };
+        ctx.lane = lane;
+        ctx.inherited = parent;
+        guard
+    })
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        CTX.with(|ctx| {
+            let mut ctx = ctx.borrow_mut();
+            // Flush: anything still open when the scope ends is closed and
+            // published now, while the lane and adopted parent are intact.
+            close_frames_above(&mut ctx, self.base_depth);
+            ctx.lane = self.prev_lane;
+            ctx.inherited = self.prev_inherited;
+        });
+        if let Some(lane) = self.aux_lane {
+            AUX_POOL
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(lane);
+        }
     }
 }
 
@@ -121,18 +307,93 @@ macro_rules! span {
     };
 }
 
-/// Removes and returns all completed root spans (completion order).
+/// Removes and returns all completed root spans (completion order, not
+/// stitched — worker/aux roots still float free; see [`stitch_spans`]).
 #[must_use]
 pub fn take_spans() -> Vec<SpanRecord> {
     std::mem::take(&mut *completed())
 }
 
-/// Renders completed root spans as an indented text tree with millisecond
-/// timings. Does not consume the spans.
+/// A copy of all completed root spans without consuming them.
+#[must_use]
+pub fn completed_spans() -> Vec<SpanRecord> {
+    completed().clone()
+}
+
+/// Re-homes cross-thread roots under their spawning spans.
+///
+/// Any root whose `parent` id exists elsewhere in the forest is moved into
+/// that span's `children`; roots whose parent never completed (or was
+/// `None`) stay roots. Children are then sorted by `(start_ns, id)`, which
+/// keeps same-thread siblings in program order and gives worker spans a
+/// deterministic position independent of completion order.
+#[must_use]
+pub fn stitch_spans(mut roots: Vec<SpanRecord>) -> Vec<SpanRecord> {
+    fn contains(record: &SpanRecord, id: u64) -> bool {
+        record.id == id || record.children.iter().any(|c| contains(c, id))
+    }
+    fn find_mut(record: &mut SpanRecord, id: u64) -> Option<&mut SpanRecord> {
+        if record.id == id {
+            return Some(record);
+        }
+        record.children.iter_mut().find_map(|c| find_mut(c, id))
+    }
+    fn sort_children(record: &mut SpanRecord) {
+        record.children.sort_by_key(|c| (c.start_ns, c.id));
+        for child in &mut record.children {
+            sort_children(child);
+        }
+    }
+
+    // Fixpoint: an orphan's parent may itself be an orphan stitched on a
+    // later pass (nested fan-out), so repeat until nothing moves.
+    loop {
+        let mut moved = false;
+        let mut i = 0;
+        while i < roots.len() {
+            let stitchable = roots[i].parent.is_some_and(|pid| {
+                roots
+                    .iter()
+                    .enumerate()
+                    .any(|(j, r)| j != i && contains(r, pid))
+            });
+            if stitchable {
+                let orphan = roots.remove(i);
+                let pid = orphan.parent.expect("stitchable implies a parent id");
+                let home = roots
+                    .iter_mut()
+                    .find_map(|r| find_mut(r, pid))
+                    .expect("parent located above");
+                home.children.push(orphan);
+                moved = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    roots.sort_by_key(|r| (r.start_ns, r.id));
+    for root in &mut roots {
+        sort_children(root);
+    }
+    roots
+}
+
+/// Removes all completed spans and returns them stitched.
+#[must_use]
+pub fn take_spans_stitched() -> Vec<SpanRecord> {
+    stitch_spans(take_spans())
+}
+
+/// Renders completed root spans (stitched) as an indented text tree with
+/// millisecond timings. Does not consume the spans.
 #[must_use]
 pub fn render_trace() -> String {
+    let spans = stitch_spans(completed_spans());
     let mut out = String::new();
-    for record in completed().iter() {
+    for record in &spans {
         render_into(record, 0, &mut out);
     }
     out
@@ -157,7 +418,12 @@ fn render_into(record: &SpanRecord, depth: usize, out: &mut String) {
 
 pub(crate) fn reset() {
     completed().clear();
-    STACK.with(|stack| stack.borrow_mut().clear());
+    CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        ctx.stack.clear();
+        ctx.inherited = None;
+        ctx.lane = MAIN_LANE;
+    });
 }
 
 #[cfg(test)]
@@ -186,6 +452,9 @@ mod tests {
         assert_eq!(root.children[1].detail.as_deref(), Some("doc 3"));
         // A parent's time covers its children.
         assert!(root.elapsed_ns >= root.children.iter().map(|c| c.elapsed_ns).sum::<u64>());
+        // Structural children record their parent's id and the same lane.
+        assert!(root.children.iter().all(|c| c.parent == Some(root.id)));
+        assert!(root.children.iter().all(|c| c.lane == MAIN_LANE));
         teardown();
     }
 
@@ -230,6 +499,115 @@ mod tests {
         let text = serde_json::to_string(&spans).expect("serializes");
         let parsed: Vec<SpanRecord> = serde_json::from_str(&text).expect("parses");
         assert_eq!(parsed, spans);
+        teardown();
+    }
+
+    #[test]
+    fn worker_roots_stitch_under_the_spawning_span() {
+        let _gate = exclusive();
+        let spawner_id;
+        {
+            let _root = crate::span!("test.spawner");
+            spawner_id = current_span_id().expect("span is open");
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _scope = worker_scope(worker_lane(0), Some(spawner_id));
+                    let _span = crate::span!("test.worker_task");
+                });
+            });
+        }
+        let spans = stitch_spans(take_spans());
+        assert_eq!(spans.len(), 1, "worker root was not stitched: {spans:?}");
+        let root = &spans[0];
+        assert_eq!(root.name, "test.spawner");
+        assert_eq!(root.children.len(), 1);
+        let worker = &root.children[0];
+        assert_eq!(worker.name, "test.worker_task");
+        assert_eq!(worker.parent, Some(spawner_id));
+        assert_eq!(worker.lane, worker_lane(0));
+        teardown();
+    }
+
+    #[test]
+    fn scope_exit_flushes_leaked_worker_frames() {
+        let _gate = exclusive();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let guard = worker_scope(worker_lane(2), None);
+                let leaked = crate::span!("test.leaked_parent");
+                {
+                    let _child = crate::span!("test.completed_child");
+                }
+                // The guard never drops — without the scope flush, the
+                // frame and its completed child would vanish with the
+                // thread-local stack.
+                std::mem::forget(leaked);
+                drop(guard);
+            });
+        });
+        let spans = take_spans();
+        assert_eq!(spans.len(), 1, "leaked frame was discarded: {spans:?}");
+        assert_eq!(spans[0].name, "test.leaked_parent");
+        assert_eq!(spans[0].lane, worker_lane(2));
+        assert_eq!(spans[0].children.len(), 1);
+        assert_eq!(spans[0].children[0].name, "test.completed_child");
+        teardown();
+    }
+
+    #[test]
+    fn nested_fanout_stitches_through_intermediate_orphans() {
+        let _gate = exclusive();
+        let root_id;
+        {
+            let _root = crate::span!("test.outer_stage");
+            root_id = current_span_id().unwrap();
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _scope = worker_scope(worker_lane(0), Some(root_id));
+                    let _w = crate::span!("test.mid_worker");
+                    let mid_id = current_span_id().unwrap();
+                    std::thread::scope(|inner| {
+                        inner.spawn(move || {
+                            let _scope = worker_scope(worker_lane(1), Some(mid_id));
+                            let _s = crate::span!("test.inner_task");
+                        });
+                    });
+                });
+            });
+        }
+        let spans = stitch_spans(take_spans());
+        assert_eq!(spans.len(), 1, "{spans:?}");
+        let mid = &spans[0].children[0];
+        assert_eq!(mid.name, "test.mid_worker");
+        assert_eq!(mid.children[0].name, "test.inner_task");
+        teardown();
+    }
+
+    #[test]
+    fn aux_scopes_reuse_pooled_lanes() {
+        let _gate = exclusive();
+        std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _scope = aux_scope(None);
+                    let _s = crate::span!("test.aux_a");
+                })
+                .join()
+                .unwrap();
+            scope
+                .spawn(|| {
+                    let _scope = aux_scope(None);
+                    let _s = crate::span!("test.aux_b");
+                })
+                .join()
+                .unwrap();
+        });
+        let spans = take_spans();
+        assert_eq!(spans.len(), 2);
+        // The second aux thread ran after the first released its lane, so
+        // both use the same pooled lane.
+        assert_eq!(spans[0].lane, spans[1].lane);
+        assert!(spans[0].lane >= AUX_LANE_BASE);
         teardown();
     }
 }

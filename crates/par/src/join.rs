@@ -20,8 +20,15 @@ where
     if crate::jobs() <= 1 {
         return (fa(), fb());
     }
+    // Spans opened inside `fb` run on a fresh thread: adopt the calling
+    // span so they stitch under it, on a pooled aux lane. The scope guard
+    // also flushes any frame `fb` leaves open.
+    let parent_span = rememberr_obs::current_span_id();
     std::thread::scope(|scope| {
-        let hb = scope.spawn(fb);
+        let hb = scope.spawn(move || {
+            let _scope = rememberr_obs::aux_scope(parent_span);
+            fb()
+        });
         let a = fa();
         match hb.join() {
             Ok(b) => (a, b),

@@ -1,6 +1,7 @@
 //! Ordered parallel map over a slice.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Chunks claimed per worker per cursor fetch: small enough to balance
 /// skewed item costs (document sizes vary 10x), large enough to amortize
@@ -52,6 +53,9 @@ where
 
     let chunk = (items.len() / (workers * CHUNKS_PER_WORKER)).max(1);
     let cursor = AtomicUsize::new(0);
+    // Captured before spawning: worker spans completed on other threads
+    // stitch under the span that called par_map (None while obs is off).
+    let parent_span = rememberr_obs::current_span_id();
     // Each worker returns its (index, result) pairs; a panic payload is
     // re-raised only after every worker has been joined, so no thread is
     // left running and no item is silently dropped.
@@ -61,6 +65,12 @@ where
                 let cursor = &cursor;
                 let f = &f;
                 scope.spawn(move || {
+                    // Lane + adopted parent for every span opened on this
+                    // thread; dropping the guard flushes frames a panicking
+                    // or leaking closure left open.
+                    let _scope =
+                        rememberr_obs::worker_scope(rememberr_obs::worker_lane(w), parent_span);
+                    let telemetry = rememberr_obs::is_enabled().then(Instant::now);
                     let _span = rememberr_obs::span!("par.worker", "w{w:02}");
                     let mut produced = Vec::new();
                     loop {
@@ -72,6 +82,11 @@ where
                         for (i, item) in items.iter().enumerate().take(end).skip(start) {
                             produced.push((i, f(i, item)));
                         }
+                    }
+                    if let Some(started) = telemetry {
+                        let busy_ns =
+                            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        rememberr_obs::record_worker(w, busy_ns, produced.len() as u64);
                     }
                     produced
                 })

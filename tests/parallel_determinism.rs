@@ -1,7 +1,9 @@
 //! Worker-count invariance: the full pipeline (generate → extract → dedup →
 //! classify → persist) produces byte-identical database JSON, identical
 //! `DedupStats`, and byte-identical observability counter sections at
-//! `jobs ∈ {1, 2, 8}` on an identically seeded corpus.
+//! `jobs ∈ {1, 2, 8}` on an identically seeded corpus — with full span
+//! profiling enabled, whose own output (stitched span trees, Chrome trace)
+//! must stay well-formed without perturbing the deterministic sections.
 //!
 //! This is the headline guarantee of the parallel execution layer: worker
 //! count is a pure throughput knob, never a semantics knob.
@@ -14,7 +16,9 @@ use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
 use rememberr_extract::extract_corpus;
 
 /// One full seeded pipeline run at the current worker count, returning
-/// everything that must be jobs-invariant.
+/// everything that must be jobs-invariant. Span profiling is on for the
+/// whole run; before returning, the stitched span tree is checked for
+/// well-formedness (no orphan worker roots, a parseable Chrome trace).
 fn seeded_pipeline_run() -> (Vec<u8>, DedupStats, String) {
     rememberr_obs::reset();
     rememberr_obs::enable();
@@ -34,10 +38,32 @@ fn seeded_pipeline_run() -> (Vec<u8>, DedupStats, String) {
     save(&db, &mut bytes).expect("database serializes");
     let stats = db.dedup_stats();
     let counters = rememberr_obs::snapshot().counters_json();
+    assert_spans_stitch_cleanly();
 
     rememberr_obs::disable();
     rememberr_obs::reset();
     (bytes, stats, counters)
+}
+
+/// Stitching leaves no `par.worker` span as a root (every worker span
+/// found its spawning stage), and the Chrome trace of the run is JSON that
+/// round-trips through our serde.
+fn assert_spans_stitch_cleanly() {
+    let spans = rememberr_obs::take_spans_stitched();
+    assert!(!spans.is_empty(), "profiled run recorded no spans");
+    for root in &spans {
+        assert_ne!(
+            root.name, "par.worker",
+            "worker span orphaned at the root: {root:?}"
+        );
+    }
+    let trace = rememberr_obs::chrome_trace(&spans);
+    let parsed: serde::Value = serde_json::from_str(&trace).expect("chrome trace parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(serde::Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
 }
 
 #[test]
