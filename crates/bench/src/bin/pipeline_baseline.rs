@@ -1,0 +1,261 @@
+//! End-to-end pipeline baseline: measures the single-pass (shared
+//! corpus-analysis arena) pipeline against per-stage re-tokenization across
+//! corpus scales and pins the result as `BENCH_pipeline.json`.
+//!
+//! ```text
+//! pipeline_baseline [--out FILE] [--check FILE]
+//! ```
+//!
+//! * `--out FILE` — write the measured baseline (corpus scale →
+//!   tokenize-calls/wall-clock per mode) as JSON.
+//! * `--check FILE` — read a previously committed baseline and fail
+//!   (exit 1) if the one-pass mode now tokenizes more often than recorded
+//!   at any scale. Tokenize calls are a pure function of the seeded corpus
+//!   (the shared arena tokenizes each entry exactly once), so any increase
+//!   is a real regression, not noise; wall-clock is recorded for context
+//!   and gated separately by `report --bench` on the committed file.
+//!
+//! The run always cross-checks the two modes against each other: database
+//! bytes, dedup statistics, decision statistics, and assist summaries must
+//! agree exactly (per-stage is the correctness oracle for the shared
+//! arena). It also asserts the tentpole property itself: in one-pass mode
+//! `textkit.tokenize_calls` equals the number of database entries.
+
+use std::time::Instant;
+
+use rememberr::{save, CandidateGen, Database, DedupStrategy};
+use rememberr_analysis::{assist_highlights, assist_highlights_analyzed, FullReport};
+use rememberr_classify::{
+    classify_database_analyzed, classify_database_with, FourEyesConfig, HumanOracle, MatcherKind,
+    Rules,
+};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+use serde::Value;
+
+const SCALES: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// Pipeline runs per mode at each scale; the reported wall clock is the
+/// minimum, the standard way to strip scheduler and allocator noise from
+/// a wall-clock measurement on a shared machine. Counters and outputs are
+/// deterministic across repeats, so only the timing varies.
+const REPEATS: usize = 5;
+
+struct Measurement {
+    tokenize_calls: u64,
+    wall_clock_ms: f64,
+    entries: usize,
+    db_bytes: Vec<u8>,
+    dedup_stats: rememberr::DedupStats,
+    decision_stats: rememberr_classify::DecisionStats,
+    assist: rememberr_analysis::AssistSummary,
+}
+
+/// Runs one full pipeline (documents → dedup → classify → assist →
+/// report) in the given mode, measuring wall clock and tokenizations.
+/// Corpus generation stays outside the measured window: both modes consume
+/// the same pre-built documents.
+fn measure(corpus: &SyntheticCorpus, rules: &Rules, one_pass: bool) -> Measurement {
+    rememberr_obs::reset();
+    rememberr_obs::enable();
+    let start = Instant::now();
+    let (db, run, assist) = if one_pass {
+        let (mut db, arena) = Database::from_documents_analyzed(
+            &corpus.structured,
+            DedupStrategy::default(),
+            CandidateGen::default(),
+        );
+        let run = classify_database_analyzed(
+            &mut db,
+            rules,
+            HumanOracle::Simulated(&corpus.truth),
+            &FourEyesConfig::default(),
+            MatcherKind::default(),
+            &arena,
+        );
+        let assist = assist_highlights_analyzed(&db, rules, &arena);
+        (db, run, assist)
+    } else {
+        let mut db = Database::from_documents_opts(
+            &corpus.structured,
+            DedupStrategy::default(),
+            CandidateGen::default(),
+        );
+        let run = classify_database_with(
+            &mut db,
+            rules,
+            HumanOracle::Simulated(&corpus.truth),
+            &FourEyesConfig::default(),
+            MatcherKind::default(),
+        );
+        let assist = assist_highlights(&db, rules);
+        (db, run, assist)
+    };
+    let report = FullReport::build(&db, run.four_eyes.as_ref(), None);
+    drop(report);
+    let wall_clock_ms = start.elapsed().as_secs_f64() * 1e3;
+    let snap = rememberr_obs::snapshot();
+    rememberr_obs::disable();
+    let tokenize_calls = snap
+        .counters
+        .get("textkit.tokenize_calls")
+        .copied()
+        .unwrap_or(0);
+
+    let mut db_bytes = Vec::new();
+    save(&db, &mut db_bytes).expect("database serializes");
+    Measurement {
+        tokenize_calls,
+        wall_clock_ms,
+        entries: db.len(),
+        db_bytes,
+        dedup_stats: db.dedup_stats(),
+        decision_stats: run.stats,
+        assist,
+    }
+}
+
+fn measurement_value(m: &Measurement) -> Value {
+    Value::Object(vec![
+        (
+            "tokenize_calls".to_string(),
+            serde::Serialize::to_value(&m.tokenize_calls),
+        ),
+        (
+            "wall_clock_ms".to_string(),
+            serde::Serialize::to_value(&m.wall_clock_ms),
+        ),
+    ])
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(args.next().expect("--out needs a file")),
+            "--check" => check = Some(args.next().expect("--check needs a file")),
+            other => {
+                eprintln!("usage: pipeline_baseline [--out FILE] [--check FILE] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut scale_values = Vec::new();
+    let mut one_pass_by_scale: Vec<(f64, u64)> = Vec::new();
+    let rules = Rules::standard();
+    for scale in SCALES {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(scale));
+        // Interleave the modes so slow phases of the host machine (page
+        // cache pressure, background work) hit both evenly, and keep the
+        // minimum wall clock per mode.
+        let mut per_stage = measure(&corpus, &rules, false);
+        let mut one_pass = measure(&corpus, &rules, true);
+        for _ in 1..REPEATS {
+            let p = measure(&corpus, &rules, false);
+            if p.wall_clock_ms < per_stage.wall_clock_ms {
+                per_stage = p;
+            }
+            let o = measure(&corpus, &rules, true);
+            if o.wall_clock_ms < one_pass.wall_clock_ms {
+                one_pass = o;
+            }
+        }
+
+        // Oracle cross-check: identical output, or the baseline is
+        // meaningless.
+        assert_eq!(
+            one_pass.db_bytes, per_stage.db_bytes,
+            "scale {scale}: one-pass database bytes diverged from per-stage"
+        );
+        assert_eq!(one_pass.dedup_stats, per_stage.dedup_stats);
+        assert_eq!(one_pass.decision_stats, per_stage.decision_stats);
+        assert_eq!(one_pass.assist, per_stage.assist);
+        // The tentpole property: the shared arena tokenizes each erratum
+        // exactly once across dedup, classify, and the assist.
+        assert_eq!(
+            one_pass.tokenize_calls, one_pass.entries as u64,
+            "scale {scale}: one-pass mode re-tokenized (calls != entries)"
+        );
+
+        let ratio = if one_pass.tokenize_calls == 0 {
+            f64::INFINITY
+        } else {
+            per_stage.tokenize_calls as f64 / one_pass.tokenize_calls as f64
+        };
+        println!(
+            "scale {scale:>4}: entries {:>5} | per_stage {:>6} tokenize calls ({:>7.1} ms) | \
+             one_pass {:>5} ({:>7.1} ms) | {ratio:.1}x fewer",
+            one_pass.entries,
+            per_stage.tokenize_calls,
+            per_stage.wall_clock_ms,
+            one_pass.tokenize_calls,
+            one_pass.wall_clock_ms,
+        );
+        one_pass_by_scale.push((scale, one_pass.tokenize_calls));
+        scale_values.push(Value::Object(vec![
+            ("scale".to_string(), serde::Serialize::to_value(&scale)),
+            (
+                "entries".to_string(),
+                serde::Serialize::to_value(&one_pass.entries),
+            ),
+            ("one_pass".to_string(), measurement_value(&one_pass)),
+            ("per_stage".to_string(), measurement_value(&per_stage)),
+        ]));
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline: Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let scales = baseline
+            .get("scales")
+            .and_then(Value::as_array)
+            .expect("baseline has a scales array");
+        let mut failed = false;
+        for recorded in scales {
+            let scale: f64 =
+                serde::Deserialize::from_value(recorded.get("scale").expect("scale field"))
+                    .expect("numeric scale");
+            let ceiling: u64 = serde::Deserialize::from_value(
+                recorded
+                    .get("one_pass")
+                    .and_then(|v| v.get("tokenize_calls"))
+                    .expect("one_pass.tokenize_calls field"),
+            )
+            .expect("numeric tokenize_calls");
+            let Some(&(_, current)) = one_pass_by_scale
+                .iter()
+                .find(|(s, _)| (s - scale).abs() < 1e-9)
+            else {
+                continue;
+            };
+            if current > ceiling {
+                eprintln!(
+                    "REGRESSION at scale {scale}: one_pass tokenize_calls {current} exceeds \
+                     the committed ceiling {ceiling}"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check against {path}: one_pass tokenize calls within the committed ceiling");
+    }
+
+    if let Some(path) = out {
+        let doc = Value::Object(vec![
+            (
+                "schema".to_string(),
+                serde::Serialize::to_value(&"rememberr-bench-pipeline/v1"),
+            ),
+            ("scales".to_string(), Value::Array(scale_values)),
+        ]);
+        let json = serde_json::to_string_pretty(&doc).expect("baseline serializes");
+        std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

@@ -135,14 +135,27 @@ pub fn classify_erratum_with(
     erratum: &Erratum,
     matcher: MatcherKind,
 ) -> AutoClassification {
-    let text = prepare(erratum);
+    classify_prepared_with(rules, erratum, &prepare(erratum), matcher)
+}
+
+/// [`classify_erratum_with`] over text that is already tokenized, so
+/// callers holding the erratum's [`PreparedText`] — the single-pass
+/// pipeline borrows it from an [`rememberr_textkit::AnalyzedCorpus`] — skip
+/// the re-tokenization. `text` must be the preparation of
+/// `erratum.full_text()`; snippets are sliced out of it.
+pub fn classify_prepared_with(
+    rules: &Rules,
+    erratum: &Erratum,
+    text: &PreparedText,
+    matcher: MatcherKind,
+) -> AutoClassification {
     let mut annotation = Annotation::new();
     let mut needs_human = Vec::new();
     let mut auto_decided = 0usize;
 
     let complex = match matcher {
         MatcherKind::Indexed => {
-            let matches = rules.matcher().match_doc(&text);
+            let matches = rules.matcher().match_doc(text);
             rememberr_obs::count("classify.pattern_evals", matches.evaluated);
             rememberr_obs::count("classify.patterns_pruned", matches.pruned);
             for category in Category::all() {
@@ -178,7 +191,7 @@ pub fn classify_erratum_with(
                 let mut matched = false;
                 for p in rules.strong_for(category) {
                     evals += 1;
-                    if p.is_match(&text) {
+                    if p.is_match(text) {
                         matched = true;
                         break;
                     }
@@ -187,7 +200,7 @@ pub fn classify_erratum_with(
                     let mut snippet = None;
                     for p in rules.strong_for(category) {
                         evals += 1;
-                        if let Some(span) = p.find_in(&text).first() {
+                        if let Some(span) = p.find_in(text).first() {
                             snippet = Some(text.snippet(*span).to_string());
                             break;
                         }
@@ -197,7 +210,7 @@ pub fn classify_erratum_with(
                     let mut human = false;
                     for p in rules.weak_for(category) {
                         evals += 1;
-                        if p.is_match(&text) {
+                        if p.is_match(text) {
                             human = true;
                             break;
                         }
@@ -219,7 +232,7 @@ pub fn classify_erratum_with(
             let mut complex = false;
             for p in rules.complex() {
                 evals += 1;
-                if p.is_match(&text) {
+                if p.is_match(text) {
                     complex = true;
                     break;
                 }

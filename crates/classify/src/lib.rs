@@ -42,14 +42,15 @@ mod rules;
 
 pub use agreement::{cohens_kappa, percent_agreement};
 pub use auto::{
-    classify_erratum, classify_erratum_with, decide, prepare, AutoClassification, Decision,
-    MatcherKind,
+    classify_erratum, classify_erratum_with, classify_prepared_with, decide, prepare,
+    AutoClassification, Decision, MatcherKind,
 };
 pub use foureyes::{
     run_four_eyes, run_four_eyes_over, FourEyesConfig, FourEyesOutcome, HumanItem, Resolution,
     StepReport,
 };
 pub use pipeline::{
-    classify_database, classify_database_with, ClassificationRun, DecisionStats, HumanOracle,
+    classify_database, classify_database_analyzed, classify_database_with, ClassificationRun,
+    DecisionStats, HumanOracle,
 };
 pub use rules::Rules;

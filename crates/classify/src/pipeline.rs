@@ -12,13 +12,14 @@ use std::collections::HashMap;
 use rememberr::Database;
 use rememberr_docgen::GroundTruth;
 use rememberr_model::{Annotation, Category, ErratumId, UniqueKey};
+use rememberr_textkit::AnalyzedCorpus;
 use serde::{Deserialize, Serialize};
 
 /// Concrete-snippet placeholder for categories added by human reviewers,
 /// who assign an abstract category without quoting erratum text.
 const HUMAN_SNIPPET: &str = "[four-eyes]";
 
-use crate::auto::{classify_erratum_with, MatcherKind};
+use crate::auto::{classify_prepared_with, prepare, MatcherKind};
 use crate::foureyes::{run_four_eyes_over, FourEyesConfig, FourEyesOutcome, HumanItem};
 use crate::rules::Rules;
 
@@ -90,6 +91,39 @@ pub fn classify_database_with(
     config: &FourEyesConfig,
     matcher: MatcherKind,
 ) -> ClassificationRun {
+    classify_database_impl(db, rules, oracle, config, matcher, None)
+}
+
+/// [`classify_database_with`] over a database whose entries were already
+/// tokenized into an [`AnalyzedCorpus`] (index `i` of the corpus must hold
+/// the preparation of entry `i`'s full text, as produced by
+/// `Database::from_documents_analyzed`). The rule stage borrows each
+/// representative's prepared text from the corpus instead of re-tokenizing
+/// it, which is what makes the single-pass pipeline single-pass.
+pub fn classify_database_analyzed(
+    db: &mut Database,
+    rules: &Rules,
+    oracle: HumanOracle<'_>,
+    config: &FourEyesConfig,
+    matcher: MatcherKind,
+    corpus: &AnalyzedCorpus,
+) -> ClassificationRun {
+    assert_eq!(
+        corpus.len(),
+        db.entries().len(),
+        "analyzed corpus must align with the database entries"
+    );
+    classify_database_impl(db, rules, oracle, config, matcher, Some(corpus))
+}
+
+fn classify_database_impl(
+    db: &mut Database,
+    rules: &Rules,
+    oracle: HumanOracle<'_>,
+    config: &FourEyesConfig,
+    matcher: MatcherKind,
+    corpus: Option<&AnalyzedCorpus>,
+) -> ClassificationRun {
     let _span = rememberr_obs::span!("classify.database");
     // One representative per cluster ("we merge identical unique errata").
     let representatives: Vec<(ErratumId, UniqueKey)> = db
@@ -97,6 +131,16 @@ pub fn classify_database_with(
         .iter()
         .map(|e| (e.id(), e.key.expect("deduplicated database")))
         .collect();
+
+    // Identifiers can collide across vendors; `Database::entry` resolves a
+    // collision to the first occurrence, so the positional index does the
+    // same. The positions also address the analyzed corpus, which is
+    // aligned with the entry slice.
+    let mut index_of: HashMap<ErratumId, usize> = HashMap::new();
+    for (i, entry) in db.entries().iter().enumerate() {
+        index_of.entry(entry.id()).or_insert(i);
+    }
+    let rep_entries: Vec<usize> = representatives.iter().map(|(id, _)| index_of[id]).collect();
 
     let mut annotations: HashMap<UniqueKey, Annotation> = HashMap::new();
     let mut human_items: Vec<HumanItem> = Vec::new();
@@ -123,9 +167,16 @@ pub fn classify_database_with(
     // identical at every worker count.
     let autos = {
         let _span = rememberr_obs::span!("classify.rules");
-        rememberr_par::par_map(&representatives, |(id, _)| {
-            let entry = db.entry(*id).expect("representative exists");
-            classify_erratum_with(rules, &entry.erratum, matcher)
+        rememberr_par::par_map(&rep_entries, |&i| {
+            let entry = &db.entries()[i];
+            match corpus {
+                Some(corpus) => {
+                    classify_prepared_with(rules, &entry.erratum, corpus.text(i), matcher)
+                }
+                None => {
+                    classify_prepared_with(rules, &entry.erratum, &prepare(&entry.erratum), matcher)
+                }
+            }
         })
     };
 
@@ -311,6 +362,42 @@ mod tests {
         let (db_b, stats_b) = &runs[1];
         assert_eq!(stats_a, stats_b);
         assert_eq!(db_a.entries(), db_b.entries());
+    }
+
+    #[test]
+    fn analyzed_and_per_stage_classification_agree() {
+        use rememberr_model::Vendor;
+        use rememberr_textkit::DocText;
+
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.05));
+        let rules = Rules::standard();
+
+        let mut legacy = Database::from_documents(&corpus.structured);
+        let legacy_run = classify_database_with(
+            &mut legacy,
+            &rules,
+            HumanOracle::Simulated(&corpus.truth),
+            &FourEyesConfig::default(),
+            MatcherKind::default(),
+        );
+
+        let mut analyzed = Database::from_documents(&corpus.structured);
+        let arena = AnalyzedCorpus::analyze(analyzed.entries(), |e| DocText {
+            text: e.erratum.full_text(),
+            title_len: e.erratum.title.len(),
+            analyze_title: e.vendor() == Vendor::Intel,
+        });
+        let analyzed_run = classify_database_analyzed(
+            &mut analyzed,
+            &rules,
+            HumanOracle::Simulated(&corpus.truth),
+            &FourEyesConfig::default(),
+            MatcherKind::default(),
+            &arena,
+        );
+
+        assert_eq!(legacy_run.stats, analyzed_run.stats);
+        assert_eq!(legacy.entries(), analyzed.entries());
     }
 
     #[test]

@@ -362,6 +362,11 @@ impl Rules {
 
     /// Builds the highlight pattern set (strong rules labelled by category
     /// code) for the syntax-highlighting assist.
+    ///
+    /// Pattern `i` of the set is `self.strong()[i]`, which is also pattern
+    /// id `i` of [`Rules::matcher`] (the matcher compiles strong rules
+    /// first, in library order) — so a matcher pass over a text can prune
+    /// the set's patterns losslessly before span extraction.
     pub fn highlight_set(&self) -> PatternSet {
         let mut set = PatternSet::new();
         for (category, pattern) in &self.strong {
@@ -449,6 +454,26 @@ mod tests {
         assert_eq!(set.len(), rules.strong().len());
         let prepared = rememberr_textkit::PreparedText::new("a warm reset occurs");
         assert_eq!(set.matching_labels(&prepared), vec!["Trg_EXT_rst"]);
+    }
+
+    #[test]
+    fn highlight_set_indices_are_matcher_ids() {
+        // The assist prunes the highlight set with a matcher pass, which
+        // is only sound if set index i and matcher id i are the same
+        // pattern. Check behavioral agreement over texts matching every
+        // strong rule's own source (via its first literal alternative).
+        let rules = Rules::standard();
+        let set = rules.highlight_set();
+        let matcher = rules.matcher();
+        for (_, pattern) in rules.strong() {
+            let text = rememberr_textkit::PreparedText::from_string(
+                pattern.source().replace(['|', '*', '<', '>'], " "),
+            );
+            let spans = set.find_spans(&text);
+            let matches = matcher.match_doc(&text);
+            let pruned = set.find_spans_filtered(&text, |id| matches.is_match(id));
+            assert_eq!(spans, pruned, "pattern {:?}", pattern.source());
+        }
     }
 
     #[test]

@@ -74,6 +74,8 @@ const VALUE_OPTIONS: &[&str] = &[
     "classify-matcher",
     "bench-dedup",
     "bench-classify",
+    "bench-pipeline",
+    "bench-out",
 ];
 
 /// Parses a raw argument list (without the program name).

@@ -8,8 +8,11 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use rememberr::{load, save, CandidateGen, Database, DedupStrategy, Query};
-use rememberr_analysis::{export_csvs, plan_campaign, FullReport};
-use rememberr_classify::{classify_database_with, FourEyesConfig, HumanOracle, MatcherKind, Rules};
+use rememberr_analysis::{assist_highlights_analyzed, export_csvs, plan_campaign, FullReport};
+use rememberr_classify::{
+    classify_database_analyzed, classify_database_with, FourEyesConfig, HumanOracle, MatcherKind,
+    Rules,
+};
 use rememberr_docgen::{CorpusSpec, GroundTruth, SyntheticCorpus};
 use rememberr_extract::{extract_corpus, extract_document};
 use rememberr_model::{Context, Design, Effect, Trigger, Vendor};
@@ -252,12 +255,15 @@ pub fn cmd_export(args: &ParsedArgs) -> CmdResult {
 }
 
 /// `rememberr report --bench`: renders the committed benchmark baselines
-/// (`BENCH_dedup.json`, `BENCH_classify.json`) as a perf trajectory with
-/// pass/fail against the pinned gates. Doubles as a schema check: a
-/// baseline that fails to parse or lacks a gate field is an error.
+/// (`BENCH_dedup.json`, `BENCH_classify.json`, `BENCH_pipeline.json`) as a
+/// perf trajectory with pass/fail against the pinned gates. Doubles as a
+/// schema check: a baseline that fails to parse or lacks a gate field is an
+/// error. With `--bench-out FILE`, the rendered report is also written to
+/// `FILE` (even when a gate fails, so CI can archive the failing report).
 fn cmd_report_bench(args: &ParsedArgs) -> CmdResult {
     let dedup_path = args.get("bench-dedup").unwrap_or("BENCH_dedup.json");
     let classify_path = args.get("bench-classify").unwrap_or("BENCH_classify.json");
+    let pipeline_path = args.get("bench-pipeline").unwrap_or("BENCH_pipeline.json");
     let mut out = String::new();
     let mut all_pass = true;
     all_pass &= render_bench_file(
@@ -267,9 +273,10 @@ fn cmd_report_bench(args: &ParsedArgs) -> CmdResult {
         "dedup candidate generation",
         "entries",
         "comparisons_made",
+        ("indexed", "exhaustive"),
         // Pinned gate: lossless pruning — the indexed path never does more
         // full edit-distance comparisons than the exhaustive oracle.
-        BenchGate::IndexedAtMostExhaustive,
+        BenchGate::FastAtMostSlow,
     )?;
     out.push('\n');
     all_pass &= render_bench_file(
@@ -279,14 +286,32 @@ fn cmd_report_bench(args: &ParsedArgs) -> CmdResult {
         "classification rule matching",
         "unique_errata",
         "pattern_evals",
+        ("indexed", "exhaustive"),
         // Pinned gate: the indexed matcher keeps its >=10x eval reduction.
         BenchGate::ReductionAtLeast(10.0),
+    )?;
+    out.push('\n');
+    all_pass &= render_bench_file(
+        &mut out,
+        pipeline_path,
+        "rememberr-bench-pipeline/v1",
+        "single-pass corpus analysis",
+        "entries",
+        "tokenize_calls",
+        ("one_pass", "per_stage"),
+        // Pinned gate: sharing the analysis arena keeps the end-to-end
+        // pipeline at least as fast as per-stage re-tokenization at the
+        // full paper scale (smaller scales are noise-dominated).
+        BenchGate::WallAtMostAtScale(1.0),
     )?;
     out.push_str(if all_pass {
         "\nall pinned gates PASS\n"
     } else {
         "\nPINNED GATE FAILURE (see above)\n"
     });
+    if let Some(path) = args.get("bench-out") {
+        fs::write(path, &out).map_err(|e| format!("cannot write bench report to {path}: {e}"))?;
+    }
     if all_pass {
         Ok(out)
     } else {
@@ -296,14 +321,20 @@ fn cmd_report_bench(args: &ParsedArgs) -> CmdResult {
 
 /// The pass/fail rule a benchmark baseline is held to.
 enum BenchGate {
-    /// Indexed effort must not exceed the exhaustive oracle's.
-    IndexedAtMostExhaustive,
-    /// Exhaustive/indexed effort ratio must be at least this.
+    /// The fast side's effort must not exceed the slow (oracle) side's.
+    FastAtMostSlow,
+    /// Slow/fast effort ratio must be at least this.
     ReductionAtLeast(f64),
+    /// The fast side's wall clock must not exceed the slow side's at the
+    /// given scale (other scales are informational).
+    WallAtMostAtScale(f64),
 }
 
 /// Renders one `BENCH_*.json` trajectory; returns whether every scale
-/// passed its gate. Errors describe schema violations.
+/// passed its gate. `sides` names the two measured variants as
+/// `(fast, slow)` — the JSON objects each scale entry holds. Errors
+/// describe schema violations.
+#[allow(clippy::too_many_arguments)]
 fn render_bench_file(
     out: &mut String,
     path: &str,
@@ -311,8 +342,10 @@ fn render_bench_file(
     title: &str,
     size_field: &str,
     effort_field: &str,
+    sides: (&str, &str),
     gate: BenchGate,
 ) -> Result<bool, String> {
+    let (fast_side, slow_side) = sides;
     let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let doc: serde::Value =
         serde_json::from_str(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
@@ -363,33 +396,39 @@ fn render_bench_file(
                 .ok_or_else(|| format!("{path}: scale {scale}: missing {size_field:?}"))?,
         )
         .map_err(|e| format!("{path}: {size_field}: {e}"))?;
-        let indexed = field_u64(entry, "indexed", effort_field)?;
-        let exhaustive = field_u64(entry, "exhaustive", effort_field)?;
-        let indexed_ms = field_f64(entry, "indexed", "wall_clock_ms")?;
-        let exhaustive_ms = field_f64(entry, "exhaustive", "wall_clock_ms")?;
-        let reduction = if indexed == 0 {
+        let fast = field_u64(entry, fast_side, effort_field)?;
+        let slow = field_u64(entry, slow_side, effort_field)?;
+        let fast_ms = field_f64(entry, fast_side, "wall_clock_ms")?;
+        let slow_ms = field_f64(entry, slow_side, "wall_clock_ms")?;
+        let reduction = if fast == 0 {
             f64::INFINITY
         } else {
-            exhaustive as f64 / indexed as f64
+            slow as f64 / fast as f64
         };
         let pass = match gate {
-            BenchGate::IndexedAtMostExhaustive => indexed <= exhaustive,
+            BenchGate::FastAtMostSlow => fast <= slow,
             BenchGate::ReductionAtLeast(bar) => reduction >= bar,
+            BenchGate::WallAtMostAtScale(gated) => {
+                (scale - gated).abs() > f64::EPSILON || fast_ms <= slow_ms
+            }
         };
         all_pass &= pass;
         out.push_str(&format!(
-            "  scale {scale:>4}: {size:>5} {size_field} | exhaustive {exhaustive:>7} \
-             {effort_field} ({exhaustive_ms:>6.1} ms) | indexed {indexed:>6} \
-             ({indexed_ms:>6.1} ms) | {reduction:>5.1}x | {}\n",
+            "  scale {scale:>4}: {size:>5} {size_field} | {slow_side} {slow:>7} \
+             {effort_field} ({slow_ms:>6.1} ms) | {fast_side} {fast:>6} \
+             ({fast_ms:>6.1} ms) | {reduction:>5.1}x | {}\n",
             if pass { "PASS" } else { "FAIL" }
         ));
     }
     let gate_line = match gate {
-        BenchGate::IndexedAtMostExhaustive => {
-            format!("gate: indexed {effort_field} never exceeds the exhaustive oracle")
+        BenchGate::FastAtMostSlow => {
+            format!("gate: {fast_side} {effort_field} never exceeds the {slow_side} oracle")
         }
         BenchGate::ReductionAtLeast(bar) => {
             format!("gate: {effort_field} reduction >= {bar:.0}x at every scale")
+        }
+        BenchGate::WallAtMostAtScale(gated) => {
+            format!("gate: {fast_side} wall clock <= {slow_side} at scale {gated}")
         }
     };
     out.push_str(&format!(
@@ -426,14 +465,22 @@ pub fn cmd_profile(args: &ParsedArgs) -> CmdResult {
     let (documents, defects) =
         extract_corpus(corpus.rendered.iter().map(|r| (r.design, r.text.as_str())))
             .map_err(|e| e.to_string())?;
-    let mut db = Database::from_documents_opts(&documents, DedupStrategy::default(), candidates);
-    let run = classify_database_with(
+    // Single-pass mode: one shared analysis arena feeds dedup, classify,
+    // and the highlighting assist, so each erratum is tokenized exactly
+    // once (the `textkit.tokenize_calls` counter below shows it).
+    let rules = Rules::standard();
+    let (mut db, arena) =
+        Database::from_documents_analyzed(&documents, DedupStrategy::default(), candidates);
+    let run = classify_database_analyzed(
         &mut db,
-        &Rules::standard(),
+        &rules,
         HumanOracle::Simulated(&corpus.truth),
         &FourEyesConfig::default(),
         matcher,
+        &arena,
     );
+    let assist = assist_highlights_analyzed(&db, &rules, &arena);
+    drop(assist);
     let report = FullReport::build(&db, run.four_eyes.as_ref(), Some(defects));
     drop(report);
 
@@ -452,8 +499,26 @@ pub fn cmd_profile(args: &ParsedArgs) -> CmdResult {
     );
     out.push_str(&rememberr_obs::render_profile(&rows, wall_ns));
     out.push('\n');
+    out.push_str(&render_corpus_counters(&snap));
+    out.push('\n');
     out.push_str(&render_worker_utilization(&snap));
     Ok(out)
+}
+
+/// Renders the shared-arena counters of the single-pass pipeline: how many
+/// documents the corpus analysis covered and how many tokenization passes
+/// the whole run paid for. The arena itself contributes exactly one
+/// tokenization per entry; the remainder comes from corpus generation and
+/// extraction-time title comparisons upstream of the database build.
+fn render_corpus_counters(snap: &rememberr_obs::Snapshot) -> String {
+    let mut out = String::from("corpus analysis (deterministic):\n");
+    let names = ["corpus.docs_analyzed", "textkit.tokenize_calls"];
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(0);
+    for name in names {
+        let value = snap.counters.get(name).copied().unwrap_or(0);
+        out.push_str(&format!("  {name:width$}  {value}\n"));
+    }
+    out
 }
 
 /// Renders the snapshot's `par` section: per-worker busy time and task
@@ -552,6 +617,7 @@ USAGE:
                      [--classify-matcher indexed|exhaustive]
   rememberr report   --db DB.jsonl [--csv-dir DIR]
   rememberr report   --bench [--bench-dedup FILE] [--bench-classify FILE]
+                     [--bench-pipeline FILE] [--bench-out FILE]
   rememberr query    --db DB.jsonl [--vendor intel|amd] [--trigger CODE]...
                      [--context CODE]... [--effect CODE]... [--min-triggers N]
                      [--unique] [--limit N]
@@ -569,16 +635,22 @@ OBSERVABILITY (any command):
 
 PROFILE:
   rememberr profile runs the full in-process pipeline (generate ->
-  extract -> dedup -> classify -> analyze) with profiling on and prints a
-  per-stage self/child-time table plus per-worker utilization and the
-  busy-time imbalance ratio. Combine with --trace-out for a trace of the
-  same run.
+  extract -> dedup -> classify -> analyze) in single-pass mode (one
+  shared corpus-analysis arena) with profiling on and prints a per-stage
+  self/child-time table, the corpus-analysis counters
+  (corpus.docs_analyzed, textkit.tokenize_calls), per-worker utilization,
+  and the busy-time imbalance ratio. Combine with --trace-out for a trace
+  of the same run.
 
 BENCH REPORT:
   rememberr report --bench reads the committed benchmark baselines
-  (BENCH_dedup.json, BENCH_classify.json) and renders the perf trajectory
-  with PASS/FAIL against the pinned gates; exits nonzero on a schema
-  violation or gate failure.
+  (BENCH_dedup.json, BENCH_classify.json, BENCH_pipeline.json) and renders
+  the perf trajectory with PASS/FAIL against the pinned gates; exits
+  nonzero on a schema violation or gate failure. --bench-out FILE also
+  writes the rendered report to FILE (even on gate failure, for CI
+  artifacts). The pipeline series compares the single-pass shared-arena
+  run (one_pass: each erratum tokenized exactly once, see the
+  textkit.tokenize_calls counter) against per-stage re-tokenization.
 
 PARALLELISM (any command):
   --jobs N             worker threads for parallel stages (default: all

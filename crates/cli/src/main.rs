@@ -33,31 +33,11 @@
 
 mod args;
 mod commands;
+mod paths;
 
-use std::path::Path;
 use std::process::ExitCode;
 
-/// Checks that `path` is plausibly writable *before* the run: not an
-/// existing directory, and inside a parent directory that exists. Catching
-/// this up front means a multi-minute pipeline run cannot end by throwing
-/// away its trace on a typo'd path.
-fn validate_out_path(option: &str, path: &str) -> Result<(), String> {
-    let p = Path::new(path);
-    if p.is_dir() {
-        return Err(format!(
-            "--{option} {path}: is a directory, expected a file path"
-        ));
-    }
-    if let Some(parent) = p.parent() {
-        if !parent.as_os_str().is_empty() && !parent.is_dir() {
-            return Err(format!(
-                "--{option} {path}: parent directory {} does not exist",
-                parent.display()
-            ));
-        }
-    }
-    Ok(())
-}
+use paths::validate_out_path;
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -72,7 +52,12 @@ fn main() -> ExitCode {
     let trace = parsed.has_flag("trace");
     let metrics_out = parsed.get("metrics-out").map(str::to_string);
     let trace_out = parsed.get("trace-out").map(str::to_string);
-    for (option, path) in [("metrics-out", &metrics_out), ("trace-out", &trace_out)] {
+    let bench_out = parsed.get("bench-out").map(str::to_string);
+    for (option, path) in [
+        ("metrics-out", &metrics_out),
+        ("trace-out", &trace_out),
+        ("bench-out", &bench_out),
+    ] {
         if let Some(path) = path {
             if let Err(e) = validate_out_path(option, path) {
                 eprintln!("error: {e}");

@@ -320,7 +320,7 @@ fn bad_output_paths_fail_before_any_work() {
     let dir = tmp("validate-dir");
     fs::create_dir_all(&dir).unwrap();
     let never = tmp("never-created");
-    for flag in ["--metrics-out", "--trace-out"] {
+    for flag in ["--metrics-out", "--trace-out", "--bench-out"] {
         let out = run(&[
             "generate",
             "--out",
@@ -376,6 +376,10 @@ fn profile_prints_stage_table_and_worker_utilization() {
     assert!(text.contains("dedup.assign_keys"), "{text}");
     assert!(text.contains("classify.database"), "{text}");
     assert!(text.contains("analysis.full_report"), "{text}");
+    // The shared-arena counters of the single-pass run.
+    assert!(text.contains("corpus analysis (deterministic):"), "{text}");
+    assert!(text.contains("corpus.docs_analyzed"), "{text}");
+    assert!(text.contains("textkit.tokenize_calls"), "{text}");
     // Worker utilization plus the imbalance ratio.
     assert!(text.contains("workers (wall clock):"), "{text}");
     assert!(text.contains("w00"), "{text}");
@@ -395,6 +399,8 @@ fn report_bench_passes_on_committed_baselines_and_rejects_garbage() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let dedup = root.join("BENCH_dedup.json");
     let classify = root.join("BENCH_classify.json");
+    let pipeline = root.join("BENCH_pipeline.json");
+    let report_path = tmp("bench-report.txt");
     let out = run(&[
         "report",
         "--bench",
@@ -402,13 +408,24 @@ fn report_bench_passes_on_committed_baselines_and_rejects_garbage() {
         dedup.to_str().unwrap(),
         "--bench-classify",
         classify.to_str().unwrap(),
+        "--bench-pipeline",
+        pipeline.to_str().unwrap(),
+        "--bench-out",
+        report_path.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("bench trajectory: dedup candidate generation"));
     assert!(text.contains("bench trajectory: classification rule matching"));
+    assert!(text.contains("bench trajectory: single-pass corpus analysis"));
+    assert!(text.contains("tokenize_calls"), "{text}");
     assert!(text.contains("all pinned gates PASS"), "{text}");
     assert!(!text.contains("FAIL"), "{text}");
+    // --bench-out wrote the same rendered report (stdout printing adds a
+    // trailing newline on top of it).
+    let written = fs::read_to_string(&report_path).unwrap();
+    assert_eq!(format!("{written}\n"), text);
+    let _ = fs::remove_file(&report_path);
 
     // A baseline with the wrong schema tag is a hard error (this is the
     // CI schema check).

@@ -5,8 +5,10 @@ use std::collections::HashMap;
 use rememberr_model::{Annotation, Design, ErrataDocument, ErratumId, UniqueKey, Vendor};
 use serde::{Deserialize, Serialize};
 
+use rememberr_textkit::{AnalyzedCorpus, DocText};
+
 use crate::candidates::CandidateGen;
-use crate::dedup::{assign_keys_with, DedupStats, DedupStrategy};
+use crate::dedup::{assign_keys_analyzed, assign_keys_with, DedupStats, DedupStrategy};
 use crate::entry::DbEntry;
 
 /// The annotated, keyed errata database — the paper's primary artifact.
@@ -57,20 +59,56 @@ impl Database {
         strategy: DedupStrategy,
         candidates: CandidateGen,
     ) -> Self {
-        let mut entries = Vec::new();
-        for doc in documents {
-            let provenance = doc.approximate_disclosure_dates();
-            for (erratum, prov) in doc.errata.iter().zip(provenance) {
-                let mut entry = DbEntry::new(erratum.clone(), prov);
-                entry.fixed_in = doc.fixed_in(erratum.id.number).map(str::to_string);
-                entries.push(entry);
-            }
-        }
+        let mut entries = build_entries(documents);
         let dedup_stats = assign_keys_with(&mut entries, strategy, candidates);
         Self {
             entries,
             dedup_stats,
         }
+    }
+
+    /// Like [`Database::from_documents_opts`], but analyzes the whole
+    /// corpus once up front and returns the [`AnalyzedCorpus`] alongside
+    /// the database so classification and analysis reuse the same
+    /// tokenization instead of re-deriving it per stage.
+    ///
+    /// The corpus is aligned with [`Database::entries`]: index `i` holds
+    /// the analysis of entry `i` (keying assigns cluster keys in place and
+    /// never reorders). Intel entries are title-analyzed for dedup; the
+    /// resulting database is byte-identical to the per-stage path.
+    pub fn from_documents_analyzed(
+        documents: &[ErrataDocument],
+        strategy: DedupStrategy,
+        candidates: CandidateGen,
+    ) -> (Self, AnalyzedCorpus) {
+        let mut entries = build_entries(documents);
+        let corpus = AnalyzedCorpus::analyze(&entries, |e| DocText {
+            text: e.erratum.full_text(),
+            title_len: e.erratum.title.len(),
+            analyze_title: e.vendor() == Vendor::Intel,
+        });
+        let dedup_stats = assign_keys_analyzed(&mut entries, strategy, candidates, &corpus);
+        let db = Self {
+            entries,
+            dedup_stats,
+        };
+        // Downstream consumers (classification, highlight assist) read the
+        // arena only at representative positions — resolved exactly the way
+        // they resolve them: one representative per unique key, mapped to
+        // its first entry index. Release the rest of the token buffers so
+        // the match-heavy stages run against a much smaller resident arena.
+        let mut index_of: HashMap<ErratumId, usize> = HashMap::new();
+        for (i, entry) in db.entries.iter().enumerate() {
+            index_of.entry(entry.id()).or_insert(i);
+        }
+        let keep: Vec<usize> = db
+            .unique_entries()
+            .iter()
+            .map(|e| index_of[&e.id()])
+            .collect();
+        let mut corpus = corpus;
+        corpus.release_texts_except(keep);
+        (db, corpus)
     }
 
     /// Number of entries (errata listings, duplicates counted).
@@ -217,6 +255,21 @@ impl Database {
         designs.dedup();
         designs
     }
+}
+
+/// Builds the unkeyed entry list from structured documents, in document
+/// order, with approximated disclosure dates and fix steppings.
+fn build_entries(documents: &[ErrataDocument]) -> Vec<DbEntry> {
+    let mut entries = Vec::new();
+    for doc in documents {
+        let provenance = doc.approximate_disclosure_dates();
+        for (erratum, prov) in doc.errata.iter().zip(provenance) {
+            let mut entry = DbEntry::new(erratum.clone(), prov);
+            entry.fixed_in = doc.fixed_in(erratum.id.number).map(str::to_string);
+            entries.push(entry);
+        }
+    }
+    entries
 }
 
 impl Extend<DbEntry> for Database {

@@ -44,7 +44,8 @@ mod query;
 pub use candidates::CandidateGen;
 pub use db::Database;
 pub use dedup::{
-    assign_keys, assign_keys_with, DedupStats, DedupStrategy, DEFAULT_SIMILARITY_THRESHOLD,
+    assign_keys, assign_keys_analyzed, assign_keys_with, DedupStats, DedupStrategy,
+    DEFAULT_SIMILARITY_THRESHOLD,
 };
 pub use entry::DbEntry;
 pub use evaluate::{

@@ -25,9 +25,31 @@ pub struct Highlight {
 /// merged region carries the union of labels. Results are sorted by start
 /// offset.
 pub fn highlights(patterns: &PatternSet, text: &str) -> Vec<Highlight> {
-    let prepared = PreparedText::new(text);
+    highlights_prepared(patterns, &PreparedText::new(text))
+}
+
+/// [`highlights`] over text that is already tokenized, so callers holding a
+/// [`PreparedText`] (for example from an [`crate::AnalyzedCorpus`]) skip the
+/// re-tokenization. Spans index into `prepared.source()`.
+pub fn highlights_prepared(patterns: &PatternSet, prepared: &PreparedText) -> Vec<Highlight> {
+    highlights_prepared_filtered(patterns, prepared, |_| true)
+}
+
+/// [`highlights_prepared`] restricted to the patterns whose set index
+/// passes `keep`.
+///
+/// Non-matching patterns contribute no spans, so any predicate that keeps
+/// every *matching* pattern — such as `is_match` over a lossless
+/// [`crate::RuleMatcher`] pre-pass whose pattern ids align with the set —
+/// produces output identical to the unfiltered call while skipping the
+/// positional scans that would come up empty.
+pub fn highlights_prepared_filtered(
+    patterns: &PatternSet,
+    prepared: &PreparedText,
+    keep: impl Fn(usize) -> bool,
+) -> Vec<Highlight> {
     let mut raw: Vec<(Span, &str)> = patterns
-        .find_spans(&prepared)
+        .find_spans_filtered(prepared, keep)
         .into_iter()
         .map(|(label, span)| (span, label))
         .collect();

@@ -101,6 +101,14 @@ impl Signature {
         &self.joined
     }
 
+    /// Sorted adjacent-token id pairs, duplicates kept (the shingle
+    /// operand); a single-token title stores one pair whose second id is a
+    /// `u32::MAX` sentinel.
+    #[must_use]
+    pub fn bigrams(&self) -> &[(u32, u32)] {
+        &self.bigrams
+    }
+
     /// Token-set Jaccard similarity; identical to [`crate::jaccard`] over
     /// the normalized token sets of the original titles.
     #[must_use]

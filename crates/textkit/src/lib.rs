@@ -19,6 +19,10 @@
 //! * [`RuleMatcher`] — an indexed multi-pattern engine that matches a whole
 //!   pattern library against a [`PreparedText`] in one pass, pruning
 //!   patterns whose anchor token is absent;
+//! * [`AnalyzedCorpus`] / [`AnalyzedDoc`] — the single-pass analysis arena:
+//!   tokenizes, normalizes and stems each document's title/text exactly
+//!   once (in parallel, with deterministic interned ids) and hands out the
+//!   views every downstream stage consumes;
 //! * [`highlights`] — the syntax-highlighting assist used during manual
 //!   classification;
 //! * [`wrap`] / [`reflow`] — document line rendering and its inverse.
@@ -46,6 +50,7 @@
 #![deny(clippy::unnecessary_to_owned)]
 #![deny(clippy::redundant_clone)]
 
+mod corpus;
 mod highlight;
 mod index;
 mod intern;
@@ -57,7 +62,11 @@ mod similarity;
 mod tokenize;
 mod wrap;
 
-pub use highlight::{highlights, render_ansi, render_markup, Highlight};
+pub use corpus::{AnalyzedCorpus, AnalyzedDoc, DocText};
+pub use highlight::{
+    highlights, highlights_prepared, highlights_prepared_filtered, render_ansi, render_markup,
+    Highlight,
+};
 pub use index::{candidate_pairs, Candidates, Signature};
 pub use intern::Interner;
 pub use matcher::{MatchSet, RuleMatcher};

@@ -123,15 +123,25 @@ impl Span {
 pub struct PreparedText {
     /// The source text the spans index into.
     source: String,
-    /// Lowercased word tokens (punctuation removed).
-    words: Vec<String>,
-    /// Token kinds, parallel to `words`.
+    /// All lowercased word tokens (punctuation removed), concatenated
+    /// back to back in one buffer. One allocation instead of one per
+    /// token, and token iteration walks contiguous memory — pattern
+    /// matching over a large analyzed corpus is cache-bound, not
+    /// pointer-chasing.
+    words_buf: String,
+    /// End byte offset of each word in `words_buf` (a word's start is the
+    /// previous word's end).
+    word_ends: Vec<u32>,
+    /// Token kinds, parallel to the words.
     kinds: Vec<TokenKind>,
-    /// Source byte spans, parallel to `words`.
+    /// Source byte spans, parallel to the words.
     spans: Vec<Span>,
     /// Indices into `words`, sorted by word and deduplicated by value —
-    /// one representative per distinct word.
-    distinct: Vec<u32>,
+    /// one representative per distinct word. Built lazily on first use:
+    /// only pattern matching reads it, and in the single-pass pipeline
+    /// most prepared documents (non-representative duplicates) are never
+    /// pattern-matched, so the sort would be pure waste.
+    distinct: std::sync::OnceLock<Vec<u32>>,
 }
 
 impl PreparedText {
@@ -143,11 +153,16 @@ impl PreparedText {
     /// Tokenizes and lowercases an owned string, taking ownership of the
     /// source so no second allocation is needed to slice snippets later.
     pub fn from_string(source: String) -> Self {
-        let tokens: Vec<Token> = tokenize(&source)
-            .into_iter()
-            .filter(|t| t.kind != TokenKind::Punct)
-            .collect();
-        let words: Vec<String> = tokens.iter().map(|t| t.lower()).collect();
+        rememberr_obs::count("textkit.tokenize_calls", 1);
+        let mut tokens: Vec<Token> = tokenize(&source);
+        tokens.retain(|t| t.kind != TokenKind::Punct);
+        let mut words_buf = String::with_capacity(source.len());
+        let mut word_ends = Vec::with_capacity(tokens.len());
+        for t in &tokens {
+            words_buf.push_str(t.text);
+            word_ends.push(words_buf.len() as u32);
+        }
+        words_buf.make_ascii_lowercase();
         let kinds = tokens.iter().map(|t| t.kind).collect();
         let spans = tokens
             .iter()
@@ -157,31 +172,69 @@ impl PreparedText {
             })
             .collect();
         drop(tokens);
-        let mut distinct: Vec<u32> = (0..words.len() as u32).collect();
-        distinct.sort_unstable_by(|&a, &b| words[a as usize].cmp(&words[b as usize]));
-        distinct.dedup_by(|&mut a, &mut b| words[a as usize] == words[b as usize]);
         Self {
             source,
-            words,
+            words_buf,
+            word_ends,
             kinds,
             spans,
-            distinct,
+            distinct: std::sync::OnceLock::new(),
         }
+    }
+
+    /// An empty prepared text: no tokens, empty source.
+    ///
+    /// Unlike [`PreparedText::new`] this does not tick the tokenize
+    /// counter — nothing is tokenized. It is the placeholder an analyzed
+    /// corpus swaps in when it releases a document's token buffer.
+    pub fn empty() -> Self {
+        Self {
+            source: String::new(),
+            words_buf: String::new(),
+            word_ends: Vec::new(),
+            kinds: Vec::new(),
+            spans: Vec::new(),
+            distinct: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The `i`-th lowercased word token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn word(&self, i: usize) -> &str {
+        let start = if i == 0 {
+            0
+        } else {
+            self.word_ends[i - 1] as usize
+        };
+        &self.words_buf[start..self.word_ends[i] as usize]
+    }
+
+    /// The lazily-built distinct-word index (see the field docs).
+    fn distinct(&self) -> &[u32] {
+        self.distinct.get_or_init(|| {
+            let mut distinct: Vec<u32> = (0..self.len() as u32).collect();
+            distinct.sort_unstable_by(|&a, &b| self.word(a as usize).cmp(self.word(b as usize)));
+            distinct.dedup_by(|&mut a, &mut b| self.word(a as usize) == self.word(b as usize));
+            distinct
+        })
     }
 
     /// Number of word tokens.
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.word_ends.len()
     }
 
     /// True if the text has no word tokens.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.word_ends.is_empty()
     }
 
-    /// The lowercased word tokens.
-    pub fn words(&self) -> &[String] {
-        &self.words
+    /// The lowercased word tokens, in text order.
+    pub fn words(&self) -> impl Iterator<Item = &str> {
+        (0..self.len()).map(|i| self.word(i))
     }
 
     /// The source text the prepared tokens index into.
@@ -200,22 +253,28 @@ impl PreparedText {
         &self.source[span.start..span.end]
     }
 
+    /// Source byte spans of the word tokens, parallel to [`Self::words`].
+    ///
+    /// Span ends are strictly increasing, so a byte-offset boundary (such
+    /// as a title/description split inside a concatenated document) maps to
+    /// a token prefix via `partition_point`.
+    pub fn token_spans(&self) -> &[Span] {
+        &self.spans
+    }
+
     /// The distinct lowercased words, each yielded once, in sorted order.
     pub fn distinct_words(&self) -> impl Iterator<Item = &str> {
-        self.distinct
-            .iter()
-            .map(|&i| self.words[i as usize].as_str())
+        self.distinct().iter().map(|&i| self.word(i as usize))
     }
 
     /// True if any word starts with `prefix` (binary search over the
     /// distinct-word index: words sharing a prefix sort contiguously).
     pub fn has_word_with_prefix(&self, prefix: &str) -> bool {
-        let at = self
-            .distinct
-            .partition_point(|&i| self.words[i as usize].as_str() < prefix);
-        self.distinct
+        let distinct = self.distinct();
+        let at = distinct.partition_point(|&i| self.word(i as usize) < prefix);
+        distinct
             .get(at)
-            .is_some_and(|&i| self.words[i as usize].starts_with(prefix))
+            .is_some_and(|&i| self.word(i as usize).starts_with(prefix))
     }
 }
 
@@ -284,7 +343,10 @@ impl Pattern {
         };
         match elem {
             Elem::Word(alts) => {
-                let word = text.words.get(wi)?;
+                if wi >= text.len() {
+                    return None;
+                }
+                let word = text.word(wi);
                 if alts.iter().any(|a| a.matches(word)) {
                     self.match_at(text, ei + 1, wi + 1)
                 } else {
@@ -429,8 +491,24 @@ impl PatternSet {
 
     /// All `(label, span)` matches in the text.
     pub fn find_spans(&self, text: &PreparedText) -> Vec<(&str, Span)> {
+        self.find_spans_filtered(text, |_| true)
+    }
+
+    /// [`PatternSet::find_spans`] restricted to the patterns whose index
+    /// passes `keep`. A pattern that matches nowhere contributes no spans,
+    /// so any predicate that keeps every *matching* pattern (for example a
+    /// lossless [`crate::RuleMatcher`] pre-pass) yields exactly the
+    /// unfiltered result while skipping the scans that would find nothing.
+    pub fn find_spans_filtered(
+        &self,
+        text: &PreparedText,
+        keep: impl Fn(usize) -> bool,
+    ) -> Vec<(&str, Span)> {
         let mut out = Vec::new();
-        for (label, pattern) in &self.patterns {
+        for (i, (label, pattern)) in self.patterns.iter().enumerate() {
+            if !keep(i) {
+                continue;
+            }
             for span in pattern.find_in(text) {
                 out.push((label.as_str(), span));
             }

@@ -224,7 +224,16 @@ impl TitleKey {
     /// Normalizes `title` once into its comparison key.
     #[must_use]
     pub fn new(title: &str) -> Self {
-        let normalized = normalize(title);
+        rememberr_obs::count("textkit.tokenize_calls", 1);
+        Self::from_normalized(normalize(title))
+    }
+
+    /// Builds the key from already-normalized tokens (stopwords removed,
+    /// stemmed, in title order) without re-tokenizing. The invariant that
+    /// `joined` equals [`crate::normalized_key`] of the original title holds
+    /// exactly when `normalized` is what [`crate::normalize`] returned for
+    /// it, which is how [`crate::AnalyzedCorpus`] calls this.
+    pub(crate) fn from_normalized(normalized: Vec<String>) -> Self {
         let joined = normalized.join(" ");
         Self {
             tokens: normalized.into_iter().collect(),
@@ -238,6 +247,12 @@ impl TitleKey {
     #[must_use]
     pub fn joined(&self) -> &str {
         &self.joined
+    }
+
+    /// The distinct normalized tokens (the Jaccard operand), sorted.
+    #[must_use]
+    pub fn tokens(&self) -> &BTreeSet<String> {
+        &self.tokens
     }
 
     /// Composite similarity against another precomputed key; same blend and

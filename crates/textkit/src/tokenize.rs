@@ -63,17 +63,18 @@ fn classify(chunk: &str) -> TokenKind {
     if bytes.iter().all(|b| b.is_ascii_digit()) {
         return TokenKind::Number;
     }
-    let lower = chunk.to_ascii_lowercase();
-    if let Some(hex) = lower.strip_prefix("0x") {
-        if !hex.is_empty() && hex.bytes().all(|b| b.is_ascii_hexdigit()) {
-            return TokenKind::HexNumber;
-        }
+    // Case-insensitive hex checks on raw bytes; this runs once per word
+    // token of every document, so it must not allocate.
+    if bytes.len() > 2
+        && bytes[0] == b'0'
+        && bytes[1] | 0x20 == b'x'
+        && bytes[2..].iter().all(u8::is_ascii_hexdigit)
+    {
+        return TokenKind::HexNumber;
     }
-    if let Some(hex) = lower.strip_suffix('h') {
-        if !hex.is_empty()
-            && hex.bytes().all(|b| b.is_ascii_hexdigit())
-            && hex.bytes().any(|b| b.is_ascii_digit())
-        {
+    if bytes.len() > 1 && bytes[bytes.len() - 1] | 0x20 == b'h' {
+        let hex = &bytes[..bytes.len() - 1];
+        if hex.iter().all(u8::is_ascii_hexdigit) && hex.iter().any(u8::is_ascii_digit) {
             return TokenKind::HexNumber;
         }
     }
@@ -102,7 +103,10 @@ fn classify(chunk: &str) -> TokenKind {
 /// assert_eq!(tokens[5].kind, TokenKind::HexNumber);
 /// ```
 pub fn tokenize(text: &str) -> Vec<Token<'_>> {
-    let mut tokens = Vec::new();
+    // Pre-size for the common shape (~6 bytes per token incl. whitespace)
+    // so per-document tokenization does one allocation, not a growth
+    // series.
+    let mut tokens = Vec::with_capacity(text.len() / 6 + 4);
     let bytes = text.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
