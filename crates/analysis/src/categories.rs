@@ -5,7 +5,7 @@
 //! (see [`rememberr_classify::classify_database`]) and work on unique
 //! errata, as the paper's Section V-B does.
 
-use rememberr::Database;
+use rememberr::{Database, Query};
 use rememberr_model::{Context, Design, Effect, Trigger, TriggerClass, Vendor};
 
 use crate::chart::{BarChart, MatrixChart};
@@ -13,22 +13,25 @@ use crate::util::unique_of;
 
 /// Figure 10: most frequent abstract triggers per vendor, as a percentage
 /// of the vendor's unique errata.
+///
+/// A 2×34 batch of facet counts, served by the database's shared
+/// [`rememberr::QueryIndex`] instead of rescanning the unique view per
+/// category.
 pub fn fig10_trigger_frequency(db: &Database, top: usize) -> Vec<(Vendor, BarChart)> {
+    let index = db.query_index();
     Vendor::ALL
         .iter()
         .map(|&vendor| {
-            let uniques = unique_of(db, vendor);
+            let vendor_uniques = Query::new().vendor(vendor).unique_only();
+            let total = vendor_uniques.count_indexed(index, db);
             let mut chart =
                 BarChart::new(format!("Fig. 10 — Most frequent triggers ({vendor})"), "%");
             for &trigger in Trigger::ALL {
-                let n = uniques
-                    .iter()
-                    .filter(|e| e.annotation_or_empty().triggers.contains(trigger))
-                    .count();
-                chart.push(
-                    trigger.code(),
-                    100.0 * n as f64 / uniques.len().max(1) as f64,
-                );
+                let n = vendor_uniques
+                    .clone()
+                    .trigger(trigger)
+                    .count_indexed(index, db);
+                chart.push(trigger.code(), 100.0 * n as f64 / total.max(1) as f64);
             }
             chart.sort_desc();
             chart.truncate(top);
@@ -39,21 +42,20 @@ pub fn fig10_trigger_frequency(db: &Database, top: usize) -> Vec<(Vendor, BarCha
 
 /// Figure 17: most frequent contexts per vendor (% of unique errata).
 pub fn fig17_context_frequency(db: &Database, top: usize) -> Vec<(Vendor, BarChart)> {
+    let index = db.query_index();
     Vendor::ALL
         .iter()
         .map(|&vendor| {
-            let uniques = unique_of(db, vendor);
+            let vendor_uniques = Query::new().vendor(vendor).unique_only();
+            let total = vendor_uniques.count_indexed(index, db);
             let mut chart =
                 BarChart::new(format!("Fig. 17 — Most frequent contexts ({vendor})"), "%");
             for &context in Context::ALL {
-                let n = uniques
-                    .iter()
-                    .filter(|e| e.annotation_or_empty().contexts.contains(context))
-                    .count();
-                chart.push(
-                    context.code(),
-                    100.0 * n as f64 / uniques.len().max(1) as f64,
-                );
+                let n = vendor_uniques
+                    .clone()
+                    .context(context)
+                    .count_indexed(index, db);
+                chart.push(context.code(), 100.0 * n as f64 / total.max(1) as f64);
             }
             chart.sort_desc();
             chart.truncate(top);
@@ -65,21 +67,20 @@ pub fn fig17_context_frequency(db: &Database, top: usize) -> Vec<(Vendor, BarCha
 /// Figure 18: most frequent observable effects per vendor (% of unique
 /// errata).
 pub fn fig18_effect_frequency(db: &Database, top: usize) -> Vec<(Vendor, BarChart)> {
+    let index = db.query_index();
     Vendor::ALL
         .iter()
         .map(|&vendor| {
-            let uniques = unique_of(db, vendor);
+            let vendor_uniques = Query::new().vendor(vendor).unique_only();
+            let total = vendor_uniques.count_indexed(index, db);
             let mut chart =
                 BarChart::new(format!("Fig. 18 — Most frequent effects ({vendor})"), "%");
             for &effect in Effect::ALL {
-                let n = uniques
-                    .iter()
-                    .filter(|e| e.annotation_or_empty().effects.contains(effect))
-                    .count();
-                chart.push(
-                    effect.code(),
-                    100.0 * n as f64 / uniques.len().max(1) as f64,
-                );
+                let n = vendor_uniques
+                    .clone()
+                    .effect(effect)
+                    .count_indexed(index, db);
+                chart.push(effect.code(), 100.0 * n as f64 / total.max(1) as f64);
             }
             chart.sort_desc();
             chart.truncate(top);

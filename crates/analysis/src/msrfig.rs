@@ -1,6 +1,6 @@
 //! Figure 19: the MSRs in which observable effects manifest.
 
-use rememberr::Database;
+use rememberr::{Database, Query};
 use rememberr_model::{MsrName, Vendor};
 
 use crate::chart::BarChart;
@@ -21,18 +21,21 @@ pub struct MsrWitnessAnalysis {
 pub fn fig19_msr_witnesses(db: &Database, top: usize) -> MsrWitnessAnalysis {
     let mut charts = Vec::new();
     let mut machine_check_witness = Vec::new();
+    let index = db.query_index();
     for &vendor in &Vendor::ALL {
+        // Per-name counts are a 2×26 facet batch on the shared index; the
+        // machine-check disjunction below (MCx_STATUS *or* MCx_ADDR per
+        // entry) is not expressible as one `Query`, so it stays a scan of
+        // the representative view.
         let uniques = unique_of(db, vendor);
         let total = uniques.len().max(1);
+        let vendor_uniques = Query::new().vendor(vendor).unique_only();
         let mut chart = BarChart::new(
             format!("Fig. 19 — MSRs witnessing observable effects ({vendor})"),
             "%",
         );
         for name in MsrName::ALL {
-            let n = uniques
-                .iter()
-                .filter(|e| e.annotation_or_empty().msrs.iter().any(|r| r.name == name))
-                .count();
+            let n = vendor_uniques.clone().msr(name).count_indexed(index, db);
             if n > 0 {
                 chart.push(name.text(), 100.0 * n as f64 / total as f64);
             }

@@ -1,10 +1,9 @@
 //! Figures 6 and 7: workarounds and fixes.
 
-use rememberr::Database;
+use rememberr::{Database, Query};
 use rememberr_model::{Design, FixStatus, Vendor, WorkaroundCategory};
 
 use crate::chart::{BarChart, MatrixChart};
-use crate::util::unique_of;
 
 /// Figure 6 result: workaround mix per vendor plus the headline number.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,20 +18,24 @@ pub struct WorkaroundAnalysis {
 /// Figure 6: suggested workarounds of errata by category (identical errata
 /// merged).
 pub fn fig06_workarounds(db: &Database) -> WorkaroundAnalysis {
+    let index = db.query_index();
     let mut charts = Vec::new();
     let mut no_workaround = Vec::new();
     for &vendor in &Vendor::ALL {
-        let uniques = unique_of(db, vendor);
-        let total = uniques.len().max(1);
+        let vendor_uniques = Query::new().vendor(vendor).unique_only();
+        let total = vendor_uniques.count_indexed(index, db).max(1);
         let mut chart = BarChart::new(format!("Fig. 6 — Workarounds by category ({vendor})"), "%");
+        let mut none = 0usize;
         for category in WorkaroundCategory::ALL {
-            let n = uniques.iter().filter(|e| e.workaround == category).count();
+            let n = vendor_uniques
+                .clone()
+                .workaround(category)
+                .count_indexed(index, db);
+            if category == WorkaroundCategory::None {
+                none = n;
+            }
             chart.push(category.to_string(), 100.0 * n as f64 / total as f64);
         }
-        let none = uniques
-            .iter()
-            .filter(|e| e.workaround == WorkaroundCategory::None)
-            .count();
         no_workaround.push((vendor, none as f64 / total as f64));
         charts.push((vendor, chart));
     }
@@ -83,14 +86,19 @@ pub fn fig07_fixes(db: &Database) -> FixAnalysis {
         }
     }
 
-    let uniques = db.unique_entries();
-    let fixed = uniques
-        .iter()
-        .filter(|e| e.fix.is_fixed_or_planned())
-        .count();
+    let index = db.query_index();
+    let uniques = Query::new().unique_only().count_indexed(index, db);
+    let fixed = Query::new()
+        .fix(FixStatus::Fixed)
+        .unique_only()
+        .count_indexed(index, db)
+        + Query::new()
+            .fix(FixStatus::FixPlanned)
+            .unique_only()
+            .count_indexed(index, db);
     FixAnalysis {
         matrix,
-        fixed_fraction: fixed as f64 / uniques.len().max(1) as f64,
+        fixed_fraction: fixed as f64 / uniques.max(1) as f64,
     }
 }
 

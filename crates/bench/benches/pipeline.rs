@@ -9,15 +9,16 @@ use std::num::NonZeroUsize;
 
 use rememberr::{
     assign_keys, assign_keys_with, load, save, CandidateGen, Database, DbEntry, DedupStrategy,
+    Query, QueryIndex,
 };
-use rememberr_bench::{paper_corpus, paper_db, small_corpus};
+use rememberr_bench::{annotated_paper_db, paper_corpus, paper_db, small_corpus};
 use rememberr_classify::{
     classify_database, classify_database_with, classify_erratum, FourEyesConfig, HumanOracle,
     MatcherKind, Rules,
 };
 use rememberr_docgen::{render_document, CorpusSpec, SyntheticCorpus};
 use rememberr_extract::{extract_corpus, extract_document};
-use rememberr_model::Design;
+use rememberr_model::{Context, Design, Effect, Trigger, Vendor};
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generation");
@@ -204,6 +205,52 @@ fn bench_small_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_query_serving(c: &mut Criterion) {
+    // Indexed vs scan query serving over the annotated paper-scale
+    // database, on the battery shape the analysis figures issue: one
+    // unique-bug count per vendor × category. Both engines return
+    // byte-identical result sequences (the equivalence suite asserts
+    // it); the delta is posting-list intersection vs repeated full
+    // scans. The one-off index build is measured separately so its
+    // amortized cost is visible next to the per-battery savings.
+    let db = annotated_paper_db();
+    let mut battery = Vec::new();
+    for &vendor in &Vendor::ALL {
+        let base = Query::new().vendor(vendor).unique_only();
+        for &trigger in Trigger::ALL {
+            battery.push(base.clone().trigger(trigger));
+        }
+        for &context in Context::ALL {
+            battery.push(base.clone().context(context));
+        }
+        for &effect in Effect::ALL {
+            battery.push(base.clone().effect(effect));
+        }
+    }
+
+    let mut group = c.benchmark_group("query_serving");
+    group.sample_size(10);
+    group.bench_function("build_index_paper_scale", |b| {
+        b.iter(|| black_box(QueryIndex::build(db)))
+    });
+    let index = QueryIndex::build(db);
+    group.bench_function("facet_battery_indexed", |b| {
+        b.iter(|| {
+            for query in &battery {
+                black_box(query.count_indexed(&index, db));
+            }
+        })
+    });
+    group.bench_function("facet_battery_scan", |b| {
+        b.iter(|| {
+            for query in &battery {
+                black_box(query.count(db));
+            }
+        })
+    });
+    group.finish();
+}
+
 fn bench_parallel(c: &mut Criterion) {
     // Worker-count sweep over the two heaviest fan-out stages, at paper
     // scale: full-corpus extraction (28 documents, 2,563 errata) and the
@@ -256,6 +303,7 @@ criterion_group!(
     bench_classification,
     bench_persistence,
     bench_small_end_to_end,
+    bench_query_serving,
     bench_parallel
 );
 criterion_main!(benches);

@@ -1,0 +1,260 @@
+//! Query-serving baseline: measures both query engines on a battery of
+//! selective facet queries across corpus scales and pins the result as
+//! `BENCH_query.json`.
+//!
+//! ```text
+//! query_baseline [--out FILE] [--check FILE]
+//! ```
+//!
+//! * `--out FILE` — write the measured baseline (corpus scale → entries
+//!   scanned / wall-clock per engine, plus index-build time) as JSON.
+//! * `--check FILE` — read a previously committed baseline and fail
+//!   (exit 1) if the indexed engine now scans more entries than recorded
+//!   at any scale. Entries scanned is a pure function of the seeded
+//!   corpus and the planner, so any increase is a real regression, not
+//!   noise; wall-clock is recorded for context but never checked.
+//!
+//! The battery is the shape every analysis figure serves: per-vendor
+//! unique-bug counts for every trigger, context, effect, MSR, and
+//! workaround category, plus date-window and composite queries. The run
+//! always cross-checks the two engines against each other: result id
+//! sequences must match exactly (the scan is the correctness oracle for
+//! the planner).
+
+use std::time::Instant;
+
+use rememberr::{Database, Query, QueryEngine, QueryIndex};
+use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+use rememberr_model::{
+    Context, Date, Effect, ErratumId, FixStatus, MsrName, Trigger, Vendor, WorkaroundCategory,
+};
+use serde::Value;
+
+const SCALES: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// The figure-shaped battery of selective facet queries.
+fn battery() -> Vec<Query> {
+    let mut queries = Vec::new();
+    let after = Date::new(2016, 1, 1).expect("valid date");
+    let before = Date::new(2019, 1, 1).expect("valid date");
+    for &vendor in &Vendor::ALL {
+        let base = Query::new().vendor(vendor).unique_only();
+        for &trigger in Trigger::ALL {
+            queries.push(base.clone().trigger(trigger));
+        }
+        for &context in Context::ALL {
+            queries.push(base.clone().context(context));
+        }
+        for &effect in Effect::ALL {
+            queries.push(base.clone().effect(effect));
+        }
+        for name in MsrName::ALL {
+            queries.push(base.clone().msr(name));
+        }
+        for category in WorkaroundCategory::ALL {
+            queries.push(base.clone().workaround(category));
+        }
+        // Date-window and composite shapes.
+        queries.push(base.clone().disclosed_after(after).disclosed_before(before));
+        queries.push(
+            base.clone()
+                .effect(Effect::Hang)
+                .fix(FixStatus::NoFixPlanned)
+                .disclosed_after(after),
+        );
+        queries.push(base.clone().trigger(Trigger::Reset).min_triggers(2));
+    }
+    queries
+}
+
+struct Measurement {
+    entries_scanned: u64,
+    wall_clock_ms: f64,
+    index_build_ms: f64,
+    ids: Vec<Vec<ErratumId>>,
+}
+
+fn measure(db: &Database, queries: &[Query], engine: QueryEngine) -> Measurement {
+    rememberr_obs::reset();
+    rememberr_obs::enable();
+    let (index, index_build_ms) = match engine {
+        QueryEngine::Indexed => {
+            let start = Instant::now();
+            let index = QueryIndex::build(db);
+            (Some(index), start.elapsed().as_secs_f64() * 1e3)
+        }
+        QueryEngine::Scan => (None, 0.0),
+    };
+    let start = Instant::now();
+    let ids: Vec<Vec<ErratumId>> = queries
+        .iter()
+        .map(|q| {
+            let hits = match &index {
+                Some(index) => q.run_indexed(index, db),
+                None => q.run(db),
+            };
+            hits.iter().map(|e| e.id()).collect()
+        })
+        .collect();
+    let wall_clock_ms = start.elapsed().as_secs_f64() * 1e3;
+    let snap = rememberr_obs::snapshot();
+    rememberr_obs::disable();
+    Measurement {
+        entries_scanned: snap
+            .counters
+            .get("query.entries_scanned")
+            .copied()
+            .unwrap_or(0),
+        wall_clock_ms,
+        index_build_ms,
+        ids,
+    }
+}
+
+fn measurement_value(m: &Measurement) -> Value {
+    Value::Object(vec![
+        (
+            "entries_scanned".to_string(),
+            serde::Serialize::to_value(&m.entries_scanned),
+        ),
+        (
+            "wall_clock_ms".to_string(),
+            serde::Serialize::to_value(&m.wall_clock_ms),
+        ),
+        (
+            "index_build_ms".to_string(),
+            serde::Serialize::to_value(&m.index_build_ms),
+        ),
+    ])
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(args.next().expect("--out needs a file")),
+            "--check" => check = Some(args.next().expect("--check needs a file")),
+            other => {
+                eprintln!("usage: query_baseline [--out FILE] [--check FILE] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let queries = battery();
+    let mut scale_values = Vec::new();
+    let mut indexed_by_scale: Vec<(f64, u64)> = Vec::new();
+    for scale in SCALES {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(scale));
+        let mut db = Database::from_documents(&corpus.structured);
+        classify_database(
+            &mut db,
+            &Rules::standard(),
+            HumanOracle::Simulated(&corpus.truth),
+            &FourEyesConfig::default(),
+        );
+
+        let indexed = measure(&db, &queries, QueryEngine::Indexed);
+        let scan = measure(&db, &queries, QueryEngine::Scan);
+
+        // Oracle cross-check: identical result sequences for every query,
+        // or the baseline is meaningless.
+        assert_eq!(
+            indexed.ids.len(),
+            scan.ids.len(),
+            "scale {scale}: battery sizes diverged"
+        );
+        for (i, (a, b)) in indexed.ids.iter().zip(&scan.ids).enumerate() {
+            assert_eq!(
+                a, b,
+                "scale {scale}: query #{i} ({:?}) diverged from the scan oracle",
+                queries[i]
+            );
+        }
+
+        let ratio = if indexed.entries_scanned == 0 {
+            f64::INFINITY
+        } else {
+            scan.entries_scanned as f64 / indexed.entries_scanned as f64
+        };
+        println!(
+            "scale {scale:>4}: entries {:>5}, {} queries | scan {:>8} entries scanned \
+             ({:>6.1} ms) | indexed {:>6} ({:>6.1} ms, +{:.1} ms build) | {ratio:.1}x fewer",
+            db.len(),
+            queries.len(),
+            scan.entries_scanned,
+            scan.wall_clock_ms,
+            indexed.entries_scanned,
+            indexed.wall_clock_ms,
+            indexed.index_build_ms,
+        );
+        indexed_by_scale.push((scale, indexed.entries_scanned));
+        scale_values.push(Value::Object(vec![
+            ("scale".to_string(), serde::Serialize::to_value(&scale)),
+            ("entries".to_string(), serde::Serialize::to_value(&db.len())),
+            (
+                "queries".to_string(),
+                serde::Serialize::to_value(&queries.len()),
+            ),
+            ("indexed".to_string(), measurement_value(&indexed)),
+            ("scan".to_string(), measurement_value(&scan)),
+        ]));
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline: Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let scales = baseline
+            .get("scales")
+            .and_then(Value::as_array)
+            .expect("baseline has a scales array");
+        let mut failed = false;
+        for recorded in scales {
+            let scale: f64 =
+                serde::Deserialize::from_value(recorded.get("scale").expect("scale field"))
+                    .expect("numeric scale");
+            let ceiling: u64 = serde::Deserialize::from_value(
+                recorded
+                    .get("indexed")
+                    .and_then(|v| v.get("entries_scanned"))
+                    .expect("indexed.entries_scanned field"),
+            )
+            .expect("numeric entries_scanned");
+            let Some(&(_, current)) = indexed_by_scale
+                .iter()
+                .find(|(s, _)| (s - scale).abs() < 1e-9)
+            else {
+                continue;
+            };
+            if current > ceiling {
+                eprintln!(
+                    "REGRESSION at scale {scale}: indexed entries_scanned {current} exceeds \
+                     the committed ceiling {ceiling}"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check against {path}: indexed entries scanned within the committed ceiling");
+    }
+
+    if let Some(path) = out {
+        let doc = Value::Object(vec![
+            (
+                "schema".to_string(),
+                serde::Serialize::to_value(&"rememberr-bench-query/v1"),
+            ),
+            ("scales".to_string(), Value::Array(scale_values)),
+        ]);
+        let json = serde_json::to_string_pretty(&doc).expect("baseline serializes");
+        std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

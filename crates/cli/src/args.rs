@@ -9,7 +9,8 @@ use std::fmt;
 pub struct ParsedArgs {
     /// The subcommand (first positional argument).
     pub command: String,
-    /// Single-valued options; the last occurrence wins.
+    /// Single-valued options. Repeating one with the same value is
+    /// harmless; contradictory repeats are rejected at parse time.
     pub options: BTreeMap<String, String>,
     /// Multi-valued options, in order of appearance.
     pub multi: BTreeMap<String, Vec<String>>,
@@ -28,6 +29,10 @@ pub enum ArgsError {
     UnexpectedPositional(String),
     /// An option name no command understands.
     UnknownOption(String),
+    /// A single-valued option given twice with different values
+    /// (option, first value, second value). Silently letting the last
+    /// occurrence win would hide the contradiction.
+    ConflictingValues(String, String, String),
 }
 
 impl fmt::Display for ArgsError {
@@ -37,6 +42,10 @@ impl fmt::Display for ArgsError {
             ArgsError::MissingValue(k) => write!(f, "option --{k} needs a value"),
             ArgsError::UnexpectedPositional(a) => write!(f, "unexpected argument {a:?}"),
             ArgsError::UnknownOption(k) => write!(f, "unknown option --{k}"),
+            ArgsError::ConflictingValues(k, first, second) => write!(
+                f,
+                "option --{k} given twice with conflicting values: {first:?} then {second:?}"
+            ),
         }
     }
 }
@@ -47,7 +56,7 @@ impl std::error::Error for ArgsError {}
 const MULTI_OPTIONS: &[&str] = &["trigger", "context", "effect"];
 
 /// Option names that are boolean flags (no value).
-const FLAG_OPTIONS: &[&str] = &["unique", "no-humans", "help", "trace", "bench"];
+const FLAG_OPTIONS: &[&str] = &["unique", "annotated", "no-humans", "help", "trace", "bench"];
 
 /// Single-valued option names understood by at least one command.
 /// Anything else is rejected up front, so a typo fails with usage text
@@ -61,8 +70,16 @@ const VALUE_OPTIONS: &[&str] = &[
     "truth",
     "csv-dir",
     "vendor",
+    "design",
+    "trigger-class",
+    "msr",
+    "workaround",
+    "fix",
+    "after",
+    "before",
     "min-triggers",
     "limit",
+    "query-engine",
     "steps",
     "triggers",
     "effects",
@@ -75,6 +92,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "bench-dedup",
     "bench-classify",
     "bench-pipeline",
+    "bench-query",
     "bench-out",
 ];
 
@@ -82,8 +100,9 @@ const VALUE_OPTIONS: &[&str] = &[
 ///
 /// # Errors
 ///
-/// Returns [`ArgsError`] for a missing subcommand, a valueless option, or a
-/// stray positional argument.
+/// Returns [`ArgsError`] for a missing subcommand, a valueless option, a
+/// stray positional argument, or a single-valued option repeated with
+/// contradictory values.
 pub fn parse<I, S>(raw: I) -> Result<ParsedArgs, ArgsError>
 where
     I: IntoIterator<Item = S>,
@@ -115,6 +134,10 @@ where
                 .ok_or_else(|| ArgsError::MissingValue(key.clone()))?;
             if MULTI_OPTIONS.contains(&key.as_str()) {
                 parsed.multi.entry(key).or_default().push(value);
+            } else if let Some(previous) = parsed.options.get(&key) {
+                if previous != &value {
+                    return Err(ArgsError::ConflictingValues(key, previous.clone(), value));
+                }
             } else {
                 parsed.options.insert(key, value);
             }
@@ -318,5 +341,68 @@ mod tests {
     fn help_flag_is_a_command() {
         let parsed = parse(["--help"]).unwrap();
         assert_eq!(parsed.command, "help");
+    }
+
+    #[test]
+    fn query_facet_options_parse() {
+        let parsed = parse([
+            "query",
+            "--db",
+            "db.jsonl",
+            "--design",
+            "Core 6",
+            "--trigger-class",
+            "Trg_EXT",
+            "--msr",
+            "MCx_STATUS",
+            "--workaround",
+            "bios",
+            "--fix",
+            "fixed",
+            "--after",
+            "2016-01-01",
+            "--before",
+            "2019-06-01",
+            "--annotated",
+            "--query-engine",
+            "scan",
+        ])
+        .unwrap();
+        assert_eq!(parsed.get("design"), Some("Core 6"));
+        assert_eq!(parsed.get("trigger-class"), Some("Trg_EXT"));
+        assert_eq!(parsed.get("msr"), Some("MCx_STATUS"));
+        assert_eq!(parsed.get("workaround"), Some("bios"));
+        assert_eq!(parsed.get("fix"), Some("fixed"));
+        assert_eq!(parsed.get("after"), Some("2016-01-01"));
+        assert_eq!(parsed.get("before"), Some("2019-06-01"));
+        assert!(parsed.has_flag("annotated"));
+        assert_eq!(parsed.get("query-engine"), Some("scan"));
+    }
+
+    #[test]
+    fn conflicting_duplicate_options_are_rejected() {
+        let err = parse(["query", "--vendor", "intel", "--vendor", "amd"]).unwrap_err();
+        assert_eq!(
+            err,
+            ArgsError::ConflictingValues("vendor".into(), "intel".into(), "amd".into())
+        );
+        assert!(err.to_string().contains("--vendor"));
+        assert!(err.to_string().contains("conflicting"));
+        // Repeating the same value is harmless; repeatable facets still
+        // repeat freely.
+        let parsed = parse([
+            "query",
+            "--vendor",
+            "intel",
+            "--vendor",
+            "intel",
+            "--effect",
+            "Eff_HNG_hng",
+            "--effect",
+            "Eff_USB_usb",
+        ])
+        .unwrap();
+        assert_eq!(parsed.get("vendor"), Some("intel"));
+        assert_eq!(parsed.get_multi("effect").len(), 2);
     }
 }

@@ -7,7 +7,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use rememberr::{load, save, CandidateGen, Database, DedupStrategy, Query};
+use rememberr::{load, save, CandidateGen, Database, DedupStrategy, Query, QueryEngine};
 use rememberr_analysis::{assist_highlights_analyzed, export_csvs, plan_campaign, FullReport};
 use rememberr_classify::{
     classify_database_analyzed, classify_database_with, FourEyesConfig, HumanOracle, MatcherKind,
@@ -15,7 +15,10 @@ use rememberr_classify::{
 };
 use rememberr_docgen::{CorpusSpec, GroundTruth, SyntheticCorpus};
 use rememberr_extract::{extract_corpus, extract_document};
-use rememberr_model::{Context, Design, Effect, Trigger, Vendor};
+use rememberr_model::{
+    Context, Date, Design, Effect, FixStatus, MsrName, Trigger, TriggerClass, Vendor,
+    WorkaroundCategory,
+};
 
 use crate::args::ParsedArgs;
 
@@ -147,7 +150,8 @@ pub fn cmd_classify(args: &ParsedArgs) -> CmdResult {
 }
 
 /// `rememberr report --db DB.jsonl [--csv-dir DIR]`, or
-/// `rememberr report --bench [--bench-dedup FILE] [--bench-classify FILE]`
+/// `rememberr report --bench [--bench-dedup FILE] [--bench-classify FILE]
+/// [--bench-pipeline FILE] [--bench-query FILE]`
 pub fn cmd_report(args: &ParsedArgs) -> CmdResult {
     if args.has_flag("bench") {
         return cmd_report_bench(args);
@@ -165,19 +169,35 @@ pub fn cmd_report(args: &ParsedArgs) -> CmdResult {
     Ok(report.render_text())
 }
 
-/// `rememberr query --db DB.jsonl [--vendor intel|amd] [--trigger CODE]...
-/// [--context CODE]... [--effect CODE]... [--min-triggers N] [--unique]`
+/// `rememberr query --db DB.jsonl [--vendor intel|amd] [--design NAME]
+/// [--trigger CODE]... [--trigger-class CODE] [--context CODE]...
+/// [--effect CODE]... [--msr NAME] [--workaround CAT] [--fix STATUS]
+/// [--after YYYY-MM-DD] [--before YYYY-MM-DD] [--min-triggers N]
+/// [--unique] [--annotated] [--query-engine indexed|scan]`
 pub fn cmd_query(args: &ParsedArgs) -> CmdResult {
+    let engine: QueryEngine = args.get_parsed("query-engine", QueryEngine::default())?;
     let db = read_db(args)?;
     let mut query = Query::new();
     if let Some(vendor) = args.get("vendor") {
         query = query.vendor(parse_vendor(vendor)?);
+    }
+    if let Some(design) = args.get("design") {
+        let design: Design = design.parse().map_err(|_| {
+            format!("unknown design {design:?} (label like \"Core 6\" or reference)")
+        })?;
+        query = query.design(design);
     }
     for code in args.get_multi("trigger") {
         let trigger: Trigger = code
             .parse()
             .map_err(|_| format!("unknown trigger code {code:?}"))?;
         query = query.trigger(trigger);
+    }
+    if let Some(code) = args.get("trigger-class") {
+        let class: TriggerClass = code
+            .parse()
+            .map_err(|_| format!("unknown trigger class {code:?}"))?;
+        query = query.trigger_class(class);
     }
     for code in args.get_multi("context") {
         let context: Context = code
@@ -191,6 +211,24 @@ pub fn cmd_query(args: &ParsedArgs) -> CmdResult {
             .map_err(|_| format!("unknown effect code {code:?}"))?;
         query = query.effect(effect);
     }
+    if let Some(name) = args.get("msr") {
+        let msr: MsrName = name
+            .parse()
+            .map_err(|_| format!("unknown MSR name {name:?}"))?;
+        query = query.msr(msr);
+    }
+    if let Some(text) = args.get("workaround") {
+        query = query.workaround(parse_workaround(text)?);
+    }
+    if let Some(text) = args.get("fix") {
+        query = query.fix(parse_fix(text)?);
+    }
+    if let Some(text) = args.get("after") {
+        query = query.disclosed_after(parse_date("after", text)?);
+    }
+    if let Some(text) = args.get("before") {
+        query = query.disclosed_before(parse_date("before", text)?);
+    }
     let min: usize = args.get_parsed("min-triggers", 0)?;
     if min > 0 {
         query = query.min_triggers(min);
@@ -198,8 +236,11 @@ pub fn cmd_query(args: &ParsedArgs) -> CmdResult {
     if args.has_flag("unique") {
         query = query.unique_only();
     }
+    if args.has_flag("annotated") {
+        query = query.annotated_only();
+    }
 
-    let hits = query.run(&db);
+    let hits = query.run_with(&db, engine);
     let mut out = format!("{} matching errata\n", hits.len());
     for entry in hits.iter().take(args.get_parsed("limit", 20usize)?) {
         out.push_str(&format!(
@@ -255,8 +296,9 @@ pub fn cmd_export(args: &ParsedArgs) -> CmdResult {
 }
 
 /// `rememberr report --bench`: renders the committed benchmark baselines
-/// (`BENCH_dedup.json`, `BENCH_classify.json`, `BENCH_pipeline.json`) as a
-/// perf trajectory with pass/fail against the pinned gates. Doubles as a
+/// (`BENCH_dedup.json`, `BENCH_classify.json`, `BENCH_pipeline.json`,
+/// `BENCH_query.json`) as a perf trajectory with pass/fail against the
+/// pinned gates. Doubles as a
 /// schema check: a baseline that fails to parse or lacks a gate field is an
 /// error. With `--bench-out FILE`, the rendered report is also written to
 /// `FILE` (even when a gate fails, so CI can archive the failing report).
@@ -264,6 +306,7 @@ fn cmd_report_bench(args: &ParsedArgs) -> CmdResult {
     let dedup_path = args.get("bench-dedup").unwrap_or("BENCH_dedup.json");
     let classify_path = args.get("bench-classify").unwrap_or("BENCH_classify.json");
     let pipeline_path = args.get("bench-pipeline").unwrap_or("BENCH_pipeline.json");
+    let query_path = args.get("bench-query").unwrap_or("BENCH_query.json");
     let mut out = String::new();
     let mut all_pass = true;
     all_pass &= render_bench_file(
@@ -303,6 +346,19 @@ fn cmd_report_bench(args: &ParsedArgs) -> CmdResult {
         // pipeline at least as fast as per-stage re-tokenization at the
         // full paper scale (smaller scales are noise-dominated).
         BenchGate::WallAtMostAtScale(1.0),
+    )?;
+    out.push('\n');
+    all_pass &= render_bench_file(
+        &mut out,
+        query_path,
+        "rememberr-bench-query/v1",
+        "indexed query serving",
+        "entries",
+        "entries_scanned",
+        ("indexed", "scan"),
+        // Pinned gate: posting-list intersection visits at most a tenth of
+        // the entries the scan engine does on the selective facet battery.
+        BenchGate::ReductionAtLeast(10.0),
     )?;
     out.push_str(if all_pass {
         "\nall pinned gates PASS\n"
@@ -617,10 +673,13 @@ USAGE:
                      [--classify-matcher indexed|exhaustive]
   rememberr report   --db DB.jsonl [--csv-dir DIR]
   rememberr report   --bench [--bench-dedup FILE] [--bench-classify FILE]
-                     [--bench-pipeline FILE] [--bench-out FILE]
-  rememberr query    --db DB.jsonl [--vendor intel|amd] [--trigger CODE]...
-                     [--context CODE]... [--effect CODE]... [--min-triggers N]
-                     [--unique] [--limit N]
+                     [--bench-pipeline FILE] [--bench-query FILE] [--bench-out FILE]
+  rememberr query    --db DB.jsonl [--vendor intel|amd] [--design NAME]
+                     [--trigger CODE]... [--trigger-class CODE]
+                     [--context CODE]... [--effect CODE]... [--msr NAME]
+                     [--workaround CAT] [--fix STATUS] [--after YYYY-MM-DD]
+                     [--before YYYY-MM-DD] [--min-triggers N] [--unique]
+                     [--annotated] [--limit N] [--query-engine indexed|scan]
   rememberr campaign --db DB.jsonl [--steps N] [--triggers N] [--effects N]
   rememberr export   --db DB.jsonl --out records.txt
   rememberr stats    --metrics m.json | --db DB.jsonl
@@ -644,13 +703,23 @@ PROFILE:
 
 BENCH REPORT:
   rememberr report --bench reads the committed benchmark baselines
-  (BENCH_dedup.json, BENCH_classify.json, BENCH_pipeline.json) and renders
-  the perf trajectory with PASS/FAIL against the pinned gates; exits
-  nonzero on a schema violation or gate failure. --bench-out FILE also
-  writes the rendered report to FILE (even on gate failure, for CI
-  artifacts). The pipeline series compares the single-pass shared-arena
-  run (one_pass: each erratum tokenized exactly once, see the
-  textkit.tokenize_calls counter) against per-stage re-tokenization.
+  (BENCH_dedup.json, BENCH_classify.json, BENCH_pipeline.json,
+  BENCH_query.json) and renders the perf trajectory with PASS/FAIL against
+  the pinned gates; exits nonzero on a schema violation or gate failure.
+  --bench-out FILE also writes the rendered report to FILE (even on gate
+  failure, for CI artifacts). The pipeline series compares the single-pass
+  shared-arena run (one_pass: each erratum tokenized exactly once, see the
+  textkit.tokenize_calls counter) against per-stage re-tokenization; the
+  query series compares posting-list intersection (indexed) against the
+  full-scan oracle on a battery of selective facet queries.
+
+QUERY:
+  --query-engine indexed|scan
+                       query serving engine (default: indexed). \"indexed\"
+                       intersects per-facet posting lists driven by the
+                       most selective one; \"scan\" is the full-scan
+                       correctness oracle. Results are identical either
+                       way.
 
 PARALLELISM (any command):
   --jobs N             worker threads for parallel stages (default: all
@@ -711,6 +780,39 @@ fn parse_vendor(text: &str) -> Result<Vendor, String> {
         "amd" => Ok(Vendor::Amd),
         other => Err(format!("unknown vendor {other:?} (use intel or amd)")),
     }
+}
+
+/// Case-insensitive category parse against the canonical display names,
+/// with `-`/`_` accepted for spaces (`no-fix-planned` == "no fix planned").
+fn parse_display_category<T: Copy + std::fmt::Display>(
+    all: &[T],
+    what: &str,
+    text: &str,
+) -> Result<T, String> {
+    let wanted = text.to_ascii_lowercase().replace(['-', '_'], " ");
+    all.iter()
+        .copied()
+        .find(|c| c.to_string().to_ascii_lowercase() == wanted)
+        .ok_or_else(|| {
+            let known: Vec<String> = all
+                .iter()
+                .map(|c| c.to_string().to_ascii_lowercase().replace(' ', "-"))
+                .collect();
+            format!("unknown {what} {text:?} (use one of: {})", known.join(", "))
+        })
+}
+
+fn parse_workaround(text: &str) -> Result<WorkaroundCategory, String> {
+    parse_display_category(&WorkaroundCategory::ALL, "workaround category", text)
+}
+
+fn parse_fix(text: &str) -> Result<FixStatus, String> {
+    parse_display_category(&FixStatus::ALL, "fix status", text)
+}
+
+fn parse_date(option: &str, text: &str) -> Result<Date, String> {
+    text.parse()
+        .map_err(|_| format!("invalid value for --{option}: {text:?} (expected YYYY-MM-DD)"))
 }
 
 fn read_db(args: &ParsedArgs) -> Result<Database, String> {
@@ -913,7 +1015,54 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("unknown trigger"));
+
+        // The new facet flags parse and the two engines print identical
+        // results.
+        let db = db_path.to_str().unwrap();
+        for argv in [
+            vec!["query", "--db", db, "--workaround", "bios", "--unique"],
+            vec!["query", "--db", db, "--fix", "no-fix-planned"],
+            vec!["query", "--db", db, "--design", "Core 6"],
+            vec![
+                "query",
+                "--db",
+                db,
+                "--after",
+                "2016-01-01",
+                "--before",
+                "2019-01-01",
+            ],
+            vec!["query", "--db", db, "--msr", "MCx_STATUS"],
+            vec!["query", "--db", db, "--trigger-class", "Trg_EXT"],
+            vec!["query", "--db", db, "--annotated"],
+        ] {
+            let indexed = cmd_query(&parse(argv.clone()).unwrap()).unwrap();
+            let mut scan_argv = argv.clone();
+            scan_argv.extend(["--query-engine", "scan"]);
+            let scan = cmd_query(&parse(scan_argv).unwrap()).unwrap();
+            assert_eq!(indexed, scan, "{argv:?}");
+        }
+        let bad =
+            cmd_query(&parse(["query", "--db", db, "--workaround", "magic"]).unwrap()).unwrap_err();
+        assert!(bad.contains("unknown workaround category"), "{bad}");
+        assert!(bad.contains("bios"), "lists the valid values: {bad}");
+        let bad = cmd_query(&parse(["query", "--db", db, "--fix", "maybe"]).unwrap()).unwrap_err();
+        assert!(bad.contains("unknown fix status"), "{bad}");
+        let bad = cmd_query(&parse(["query", "--db", db, "--after", "soon"]).unwrap()).unwrap_err();
+        assert!(bad.contains("--after"), "{bad}");
+        assert!(bad.contains("YYYY-MM-DD"), "{bad}");
+
         let _ = fs::remove_dir_all(&dir);
         let _ = fs::remove_file(&db_path);
+    }
+
+    #[test]
+    fn query_rejects_bad_engine_before_reading_the_db() {
+        // Strict validation like --jobs/--classify-matcher: the engine
+        // value fails even though the database path does not exist.
+        let err =
+            cmd_query(&parse(["query", "--db", "/nonexistent", "--query-engine", "fast"]).unwrap())
+                .unwrap_err();
+        assert!(err.contains("invalid value for --query-engine"), "{err}");
     }
 }

@@ -400,6 +400,7 @@ fn report_bench_passes_on_committed_baselines_and_rejects_garbage() {
     let dedup = root.join("BENCH_dedup.json");
     let classify = root.join("BENCH_classify.json");
     let pipeline = root.join("BENCH_pipeline.json");
+    let query = root.join("BENCH_query.json");
     let report_path = tmp("bench-report.txt");
     let out = run(&[
         "report",
@@ -410,6 +411,8 @@ fn report_bench_passes_on_committed_baselines_and_rejects_garbage() {
         classify.to_str().unwrap(),
         "--bench-pipeline",
         pipeline.to_str().unwrap(),
+        "--bench-query",
+        query.to_str().unwrap(),
         "--bench-out",
         report_path.to_str().unwrap(),
     ]);
@@ -418,7 +421,9 @@ fn report_bench_passes_on_committed_baselines_and_rejects_garbage() {
     assert!(text.contains("bench trajectory: dedup candidate generation"));
     assert!(text.contains("bench trajectory: classification rule matching"));
     assert!(text.contains("bench trajectory: single-pass corpus analysis"));
+    assert!(text.contains("bench trajectory: indexed query serving"));
     assert!(text.contains("tokenize_calls"), "{text}");
+    assert!(text.contains("entries_scanned"), "{text}");
     assert!(text.contains("all pinned gates PASS"), "{text}");
     assert!(!text.contains("FAIL"), "{text}");
     // --bench-out wrote the same rendered report (stdout printing adds a

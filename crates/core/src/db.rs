@@ -3,13 +3,14 @@
 use std::collections::HashMap;
 
 use rememberr_model::{Annotation, Design, ErrataDocument, ErratumId, UniqueKey, Vendor};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use rememberr_textkit::{AnalyzedCorpus, DocText};
 
 use crate::candidates::CandidateGen;
 use crate::dedup::{assign_keys_analyzed, assign_keys_with, DedupStats, DedupStrategy};
 use crate::entry::DbEntry;
+use crate::index::{QueryIndex, QueryIndexCell};
 
 /// The annotated, keyed errata database — the paper's primary artifact.
 ///
@@ -24,10 +25,44 @@ use crate::entry::DbEntry;
 /// assert_eq!(db.len(), corpus.truth.grand_total());
 /// assert!(db.unique_count() <= db.len());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+/// Identity (equality, serialization) is the entries plus dedup
+/// statistics; the cached query index is a derived acceleration structure
+/// and never part of either — see the manual `PartialEq`/`Serialize`/
+/// `Deserialize` impls below.
+#[derive(Debug, Clone, Default)]
 pub struct Database {
     entries: Vec<DbEntry>,
     dedup_stats: DedupStats,
+    index: QueryIndexCell,
+}
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        (&self.entries, &self.dedup_stats) == (&other.entries, &other.dedup_stats)
+    }
+}
+
+impl Serialize for Database {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("entries".to_string(), self.entries.to_value()),
+            ("dedup_stats".to_string(), self.dedup_stats.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Database {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if value.as_object().is_none() {
+            return Err(DeError::mismatch("object", value));
+        }
+        let field = |name: &str| value.get(name).ok_or_else(|| DeError::missing(name));
+        Ok(Database {
+            entries: field("entries").and_then(Vec::<DbEntry>::from_value)?,
+            dedup_stats: field("dedup_stats").and_then(DedupStats::from_value)?,
+            index: QueryIndexCell::default(),
+        })
+    }
 }
 
 impl Database {
@@ -64,6 +99,7 @@ impl Database {
         Self {
             entries,
             dedup_stats,
+            index: QueryIndexCell::default(),
         }
     }
 
@@ -91,6 +127,7 @@ impl Database {
         let db = Self {
             entries,
             dedup_stats,
+            index: QueryIndexCell::default(),
         };
         // Downstream consumers (classification, highlight assist) read the
         // arena only at representative positions — resolved exactly the way
@@ -131,8 +168,17 @@ impl Database {
         self.dedup_stats
     }
 
+    /// The query index for this database, built lazily on first use and
+    /// cached until the next mutation (every `&mut self` method
+    /// invalidates it). Safe to call from concurrent readers: one builds,
+    /// the rest share the result.
+    pub fn query_index(&self) -> &QueryIndex {
+        self.index.get_or_build(|| QueryIndex::build(self))
+    }
+
     /// Restores dedup statistics (used when loading a persisted database).
     pub(crate) fn restore_dedup_stats(&mut self, stats: DedupStats) {
+        self.index.invalidate();
         self.dedup_stats = stats;
     }
 
@@ -148,6 +194,7 @@ impl Database {
 
     /// Mutable lookup, for attaching annotations.
     pub fn entry_mut(&mut self, id: ErratumId) -> Option<&mut DbEntry> {
+        self.index.invalidate();
         self.entries.iter_mut().find(|e| e.id() == id)
     }
 
@@ -167,6 +214,7 @@ impl Database {
     ///
     /// Returns the number of entries annotated.
     pub fn annotate_key(&mut self, key: UniqueKey, annotation: Annotation) -> usize {
+        self.index.invalidate();
         let mut n = 0;
         for e in &mut self.entries {
             if e.key == Some(key) {
@@ -235,6 +283,7 @@ impl Database {
     /// a new generation's errata document — joins an existing database, the
     /// extension path the paper's Section VII describes.
     pub fn merge(&mut self, other: Database, strategy: DedupStrategy) -> DedupStats {
+        self.index.invalidate();
         self.entries.extend(other.entries);
         for entry in &mut self.entries {
             entry.key = None;
@@ -276,6 +325,7 @@ impl Extend<DbEntry> for Database {
     /// Extends the database with pre-keyed entries. Dedup statistics are
     /// not recomputed; call [`crate::assign_keys`] afterwards if needed.
     fn extend<I: IntoIterator<Item = DbEntry>>(&mut self, iter: I) {
+        self.index.invalidate();
         self.entries.extend(iter);
     }
 }
@@ -416,5 +466,37 @@ mod tests {
         assert!(db.is_empty());
         assert_eq!(db.unique_count(), 0);
         assert!(db.unique_entries().is_empty());
+    }
+
+    #[test]
+    fn query_index_is_cached_and_invalidated_on_mutation() {
+        let (corpus, mut db) = small_db();
+        let first = db.query_index() as *const _;
+        assert_eq!(first, db.query_index() as *const _, "second read is cached");
+
+        // Annotating rebuilds the index with the new annotation visible.
+        let before = crate::Query::new().annotated_only().count(&db);
+        let id = corpus.truth.bugs[0].occurrences[0].id();
+        let n = db.annotate_cluster(id, corpus.truth.bugs[0].profile.annotation.clone());
+        assert!(n >= 1);
+        let q = crate::Query::new().annotated_only();
+        assert_eq!(q.count_indexed(db.query_index(), &db), before + n);
+        assert_eq!(q.count_indexed(db.query_index(), &db), q.count(&db));
+    }
+
+    #[test]
+    fn query_index_cache_is_outside_identity() {
+        let (_, db) = small_db();
+        let clone = db.clone();
+        let _ = db.query_index();
+        // Building the index changes neither equality nor serialization.
+        assert_eq!(db, clone);
+        assert_eq!(
+            serde_json::to_string(&db).unwrap(),
+            serde_json::to_string(&clone).unwrap()
+        );
+        let back: Database = serde_json::from_str(&serde_json::to_string(&db).unwrap()).unwrap();
+        assert_eq!(back.entries(), db.entries());
+        assert_eq!(back.dedup_stats(), db.dedup_stats());
     }
 }

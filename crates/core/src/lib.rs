@@ -10,7 +10,9 @@
 //! * **provenance** (approximate disclosure dates from revision
 //!   histories, Section IV-B1);
 //! * **annotations** (triggers/contexts/effects, attached per cluster);
-//! * **queries** ([`Query`]) over entries or unique bugs;
+//! * **queries** ([`Query`]) over entries or unique bugs, served by
+//!   posting-list intersection ([`QueryIndex`]) with the full scan kept as
+//!   the correctness oracle ([`QueryEngine`]);
 //! * **persistence** ([`save`]/[`load`], JSON Lines);
 //! * **evaluation** against the synthetic corpus's ground truth
 //!   ([`evaluate_dedup`], [`evaluate_classification`]) — something the
@@ -38,6 +40,7 @@ mod db;
 mod dedup;
 mod entry;
 mod evaluate;
+mod index;
 mod persist;
 mod query;
 
@@ -51,5 +54,6 @@ pub use entry::DbEntry;
 pub use evaluate::{
     evaluate_classification, evaluate_dedup, ClassificationEvaluation, DedupEvaluation, Prf,
 };
+pub use index::{QueryEngine, QueryIndex};
 pub use persist::{load, save, PersistError, FORMAT, VERSION};
 pub use query::Query;

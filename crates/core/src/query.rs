@@ -30,27 +30,33 @@ use rememberr_model::{
 
 use crate::db::Database;
 use crate::entry::DbEntry;
+use crate::index::{QueryEngine, QueryIndex};
 
 /// A composable filter over database entries.
 ///
 /// All added conditions must hold (conjunction). An unset condition matches
 /// everything.
+///
+/// Two engines serve a query: [`Query::run`] scans every entry (the
+/// correctness oracle) and [`Query::run_indexed`] intersects the posting
+/// lists of a [`QueryIndex`]; both return the same entries in the same
+/// order. [`Query::run_with`] picks by [`QueryEngine`].
 #[derive(Debug, Clone, Default)]
 pub struct Query {
-    vendor: Option<Vendor>,
-    design: Option<Design>,
-    triggers_all: Vec<Trigger>,
-    trigger_class: Option<TriggerClass>,
-    context_any: Vec<Context>,
-    effect_any: Vec<Effect>,
-    msr: Option<MsrName>,
-    workaround: Option<WorkaroundCategory>,
-    fix: Option<FixStatus>,
-    disclosed_after: Option<Date>,
-    disclosed_before: Option<Date>,
-    min_triggers: Option<usize>,
-    unique_only: bool,
-    annotated_only: bool,
+    pub(crate) vendor: Option<Vendor>,
+    pub(crate) design: Option<Design>,
+    pub(crate) triggers_all: Vec<Trigger>,
+    pub(crate) trigger_class: Option<TriggerClass>,
+    pub(crate) context_any: Vec<Context>,
+    pub(crate) effect_any: Vec<Effect>,
+    pub(crate) msr: Option<MsrName>,
+    pub(crate) workaround: Option<WorkaroundCategory>,
+    pub(crate) fix: Option<FixStatus>,
+    pub(crate) disclosed_after: Option<Date>,
+    pub(crate) disclosed_before: Option<Date>,
+    pub(crate) min_triggers: Option<usize>,
+    pub(crate) unique_only: bool,
+    pub(crate) annotated_only: bool,
 }
 
 impl Query {
@@ -221,21 +227,84 @@ impl Query {
         true
     }
 
-    /// Runs the query against a database.
-    pub fn run<'db>(&self, db: &'db Database) -> Vec<&'db DbEntry> {
+    /// The scan engine's shared code path: visits every candidate entry
+    /// and reports hits. `run` and `count` both ride on this so counting
+    /// never materializes a `Vec<&DbEntry>`.
+    ///
+    /// Counts every entry the engine visits as `query.entries_scanned`:
+    /// for `unique_only` queries that is the full pass deriving the
+    /// representative view plus one `matches` test per representative; for
+    /// entry queries it is one test per entry.
+    fn scan<'db>(&self, db: &'db Database, mut hit: impl FnMut(&'db DbEntry)) {
+        let _span = rememberr_obs::span!("query.execute");
         if self.unique_only {
-            db.unique_entries()
-                .into_iter()
-                .filter(|e| self.matches(e))
-                .collect()
+            let uniques = db.unique_entries();
+            rememberr_obs::count("query.entries_scanned", (db.len() + uniques.len()) as u64);
+            for e in uniques {
+                if self.matches(e) {
+                    hit(e);
+                }
+            }
         } else {
-            db.entries().iter().filter(|e| self.matches(e)).collect()
+            rememberr_obs::count("query.entries_scanned", db.len() as u64);
+            for e in db.entries() {
+                if self.matches(e) {
+                    hit(e);
+                }
+            }
         }
     }
 
-    /// Number of matches.
+    /// Runs the query against a database with the scan engine.
+    pub fn run<'db>(&self, db: &'db Database) -> Vec<&'db DbEntry> {
+        let mut out = Vec::new();
+        self.scan(db, |e| out.push(e));
+        out
+    }
+
+    /// Number of matches, counted with the scan engine.
     pub fn count(&self, db: &Database) -> usize {
-        self.run(db).len()
+        let mut n = 0;
+        self.scan(db, |_| n += 1);
+        n
+    }
+
+    /// Runs the query through a prebuilt [`QueryIndex`], returning entries
+    /// in the same order as [`Query::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was built over a different database.
+    pub fn run_indexed<'db>(&self, index: &QueryIndex, db: &'db Database) -> Vec<&'db DbEntry> {
+        crate::index::execute(self, index, db)
+    }
+
+    /// Number of matches, counted through a prebuilt [`QueryIndex`]. When
+    /// no residual predicate remains this is the final intersection's
+    /// length — no `Vec<&DbEntry>` is materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was built over a different database.
+    pub fn count_indexed(&self, index: &QueryIndex, db: &Database) -> usize {
+        crate::index::execute_count(self, index, db)
+    }
+
+    /// Runs the query with the selected engine; [`QueryEngine::Indexed`]
+    /// uses (and lazily builds) the database's cached index.
+    pub fn run_with<'db>(&self, db: &'db Database, engine: QueryEngine) -> Vec<&'db DbEntry> {
+        match engine {
+            QueryEngine::Indexed => self.run_indexed(db.query_index(), db),
+            QueryEngine::Scan => self.run(db),
+        }
+    }
+
+    /// Number of matches with the selected engine.
+    pub fn count_with(&self, db: &Database, engine: QueryEngine) -> usize {
+        match engine {
+            QueryEngine::Indexed => self.count_indexed(db.query_index(), db),
+            QueryEngine::Scan => self.count(db),
+        }
     }
 }
 
@@ -358,5 +427,76 @@ mod tests {
         let db = db_with(vec![entry(Design::Intel6, 1, Some(ann))]);
         assert_eq!(Query::new().min_triggers(2).count(&db), 1);
         assert_eq!(Query::new().min_triggers(3).count(&db), 0);
+    }
+
+    /// Every query exercised by this module's tests, plus residual and
+    /// date combinations, served identically by both engines on a real
+    /// (deduped + annotated) corpus.
+    #[test]
+    fn engines_agree_on_synthetic_corpus() {
+        use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.08));
+        let mut db = Database::from_documents(&corpus.structured);
+        for bug in &corpus.truth.bugs {
+            db.annotate_cluster(bug.occurrences[0].id(), bug.profile.annotation.clone());
+        }
+        let after = Date::new(2016, 1, 1).unwrap();
+        let before = Date::new(2019, 6, 1).unwrap();
+        let queries = vec![
+            Query::new(),
+            Query::new().unique_only(),
+            Query::new().vendor(Vendor::Intel).unique_only(),
+            Query::new().vendor(Vendor::Amd).trigger(Trigger::Reset),
+            Query::new().trigger_class(TriggerClass::Ext).unique_only(),
+            Query::new().context(Context::VmGuest).context(Context::Smm),
+            Query::new().effect(Effect::Hang).effect(Effect::Usb),
+            Query::new().msr(MsrName::McStatus).unique_only(),
+            Query::new().workaround(WorkaroundCategory::Bios),
+            Query::new().fix(FixStatus::Fixed).unique_only(),
+            Query::new().disclosed_after(after).disclosed_before(before),
+            Query::new().disclosed_after(after).unique_only(),
+            Query::new().min_triggers(2),
+            Query::new().min_triggers(2).unique_only(),
+            Query::new().annotated_only(),
+            Query::new()
+                .vendor(Vendor::Intel)
+                .effect(Effect::Hang)
+                .disclosed_after(after)
+                .min_triggers(1)
+                .unique_only(),
+        ];
+        let index = QueryIndex::build(&db);
+        for q in &queries {
+            let scan: Vec<_> = q.run(&db).iter().map(|e| e.id()).collect();
+            let indexed: Vec<_> = q.run_indexed(&index, &db).iter().map(|e| e.id()).collect();
+            assert_eq!(indexed, scan, "{q:?}");
+            assert_eq!(q.count_indexed(&index, &db), scan.len(), "{q:?}");
+            assert_eq!(q.count(&db), scan.len(), "{q:?}");
+            assert_eq!(q.count_with(&db, QueryEngine::Indexed), scan.len());
+            assert_eq!(q.count_with(&db, QueryEngine::Scan), scan.len());
+        }
+    }
+
+    /// Pinned: `disclosed_after` is inclusive (`>= after`),
+    /// `disclosed_before` is exclusive (`< before`) — on both engines.
+    #[test]
+    fn date_bounds_are_inclusive_exclusive_on_both_engines() {
+        let db = db_with(vec![entry(Design::Intel6, 1, None)]);
+        let disclosed = Date::new(2016, 6, 15).unwrap(); // the fixture's date
+        let index = QueryIndex::build(&db);
+        for (q, expect) in [
+            (Query::new().disclosed_after(disclosed), 1),
+            (Query::new().disclosed_before(disclosed), 0),
+            (
+                Query::new()
+                    .disclosed_after(disclosed)
+                    .disclosed_before(disclosed),
+                0,
+            ),
+        ] {
+            assert_eq!(q.count(&db), expect, "scan {q:?}");
+            assert_eq!(q.count_indexed(&index, &db), expect, "indexed {q:?}");
+        }
     }
 }
