@@ -8,8 +8,8 @@ use std::hint::black_box;
 use std::num::NonZeroUsize;
 
 use rememberr::{
-    assign_keys, assign_keys_with, load, save, CandidateGen, Database, DbEntry, DedupStrategy,
-    Query, QueryIndex,
+    assign_keys, assign_keys_with, load, save, save_as, CandidateGen, Database, DbEntry,
+    DedupStrategy, Query, QueryIndex, SnapshotFormat,
 };
 use rememberr_bench::{annotated_paper_db, paper_corpus, paper_db, small_corpus};
 use rememberr_classify::{
@@ -185,6 +185,35 @@ fn bench_persistence(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_persist_snapshot(c: &mut Criterion) {
+    // JSONL vs rememberr-bin/v1 on the annotated paper-scale database —
+    // the snapshot the query-serving scenarios start from. The binary
+    // side pays a string-table build on save and buys back a load with
+    // no per-record text parsing; `persist_baseline` pins the ratio.
+    let db = annotated_paper_db();
+    let mut group = c.benchmark_group("persist_snapshot");
+    group.sample_size(20);
+    for (save_name, load_name, format) in [
+        ("save_jsonl", "load_jsonl", SnapshotFormat::Jsonl),
+        ("save_binary", "load_binary", SnapshotFormat::Binary),
+    ] {
+        let mut serialized = Vec::new();
+        save_as(db, &mut serialized, format).expect("save succeeds");
+        group.throughput(criterion::Throughput::Bytes(serialized.len() as u64));
+        group.bench_function(save_name, |b| {
+            b.iter(|| {
+                let mut buf = Vec::with_capacity(serialized.len());
+                save_as(db, &mut buf, format).expect("save succeeds");
+                black_box(buf)
+            })
+        });
+        group.bench_function(load_name, |b| {
+            b.iter(|| black_box(load(serialized.as_slice()).expect("load succeeds")))
+        });
+    }
+    group.finish();
+}
+
 fn bench_small_end_to_end(c: &mut Criterion) {
     let corpus = small_corpus();
     let mut group = c.benchmark_group("end_to_end");
@@ -302,6 +331,7 @@ criterion_group!(
     bench_classify_matcher,
     bench_classification,
     bench_persistence,
+    bench_persist_snapshot,
     bench_small_end_to_end,
     bench_query_serving,
     bench_parallel

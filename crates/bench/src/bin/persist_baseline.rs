@@ -1,0 +1,236 @@
+//! Persistence baseline: measures save/load wall-clock and snapshot size
+//! for both snapshot formats across corpus scales and pins the result as
+//! `BENCH_persist.json`.
+//!
+//! ```text
+//! persist_baseline [--out FILE] [--check FILE]
+//! ```
+//!
+//! * `--out FILE` — write the measured baseline (corpus scale → bytes,
+//!   save and load wall-clock per format) as JSON.
+//! * `--check FILE` — read a previously committed baseline and fail
+//!   (exit 1) if the binary snapshot now exceeds its committed byte
+//!   ceiling at any scale, is not smaller than JSONL, or loads less than
+//!   3x faster than JSONL at the full paper scale. Snapshot bytes are a
+//!   pure function of the seeded corpus and the format, so any growth is
+//!   a real regression; the speedup gate re-measures wall-clock fresh.
+//!
+//! Every run cross-checks correctness regardless of flags: the binary
+//! roundtrip must reproduce the database exactly (JSONL is the oracle),
+//! re-exported JSONL after a binary roundtrip must be byte-identical,
+//! and the binary bytes must be identical at jobs ∈ {1, 2, 8}.
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use rememberr::{load, save_as, Database, SnapshotFormat};
+use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+use serde::Value;
+
+const SCALES: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// Wall-clock repetitions; the minimum is reported, which is the
+/// standard noise-floor estimator for single-process benchmarks.
+const REPS: usize = 5;
+
+/// The ≥3x load-speedup bar `--check` holds the paper scale to.
+const LOAD_SPEEDUP_BAR: f64 = 3.0;
+
+struct Measurement {
+    bytes: u64,
+    save_ms: f64,
+    load_ms: f64,
+}
+
+fn snapshot_bytes(db: &Database, format: SnapshotFormat) -> Vec<u8> {
+    let mut buf = Vec::new();
+    save_as(db, &mut buf, format).expect("in-memory save succeeds");
+    buf
+}
+
+fn measure(db: &Database, format: SnapshotFormat) -> (Measurement, Vec<u8>) {
+    let bytes = snapshot_bytes(db, format);
+    let mut save_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let buf = snapshot_bytes(db, format);
+        save_ms = save_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(buf, bytes, "{format}: save is deterministic");
+    }
+    let mut load_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let back = load(bytes.as_slice()).expect("snapshot loads");
+        load_ms = load_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(&back, db, "{format}: roundtrip reproduces the database");
+    }
+    (
+        Measurement {
+            bytes: bytes.len() as u64,
+            save_ms,
+            load_ms,
+        },
+        bytes,
+    )
+}
+
+fn measurement_value(m: &Measurement) -> Value {
+    Value::Object(vec![
+        ("bytes".to_string(), serde::Serialize::to_value(&m.bytes)),
+        (
+            "save_ms".to_string(),
+            serde::Serialize::to_value(&m.save_ms),
+        ),
+        (
+            "wall_clock_ms".to_string(),
+            serde::Serialize::to_value(&m.load_ms),
+        ),
+    ])
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(args.next().expect("--out needs a file")),
+            "--check" => check = Some(args.next().expect("--check needs a file")),
+            other => {
+                eprintln!("usage: persist_baseline [--out FILE] [--check FILE] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut scale_values = Vec::new();
+    let mut measured: Vec<(f64, Measurement, Measurement)> = Vec::new();
+    for scale in SCALES {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(scale));
+        let mut db = Database::from_documents(&corpus.structured);
+        classify_database(
+            &mut db,
+            &Rules::standard(),
+            HumanOracle::Simulated(&corpus.truth),
+            &FourEyesConfig::default(),
+        );
+
+        let (jsonl, jsonl_bytes) = measure(&db, SnapshotFormat::Jsonl);
+        let (binary, binary_bytes) = measure(&db, SnapshotFormat::Binary);
+
+        // Oracle cross-checks: the binary roundtrip must re-export
+        // byte-identical JSONL, and the binary bytes must not depend on
+        // the worker count.
+        let roundtripped = load(binary_bytes.as_slice()).expect("binary snapshot loads");
+        let reexport = snapshot_bytes(&roundtripped, SnapshotFormat::Jsonl);
+        assert_eq!(
+            reexport, jsonl_bytes,
+            "scale {scale}: JSONL re-export after a binary roundtrip diverged"
+        );
+        for jobs in [1usize, 2, 8] {
+            rememberr_par::set_jobs(NonZeroUsize::new(jobs));
+            let buf = snapshot_bytes(&db, SnapshotFormat::Binary);
+            assert_eq!(
+                buf, binary_bytes,
+                "scale {scale}: binary snapshot differs at jobs={jobs}"
+            );
+        }
+        rememberr_par::set_jobs(None);
+
+        let speedup = jsonl.load_ms / binary.load_ms;
+        println!(
+            "scale {scale:>4}: entries {:>5} | jsonl {:>8} bytes (save {:>6.1} ms, load {:>6.1} ms) \
+             | binary {:>8} bytes (save {:>6.1} ms, load {:>6.1} ms) | load {speedup:.1}x faster",
+            db.len(),
+            jsonl.bytes,
+            jsonl.save_ms,
+            jsonl.load_ms,
+            binary.bytes,
+            binary.save_ms,
+            binary.load_ms,
+        );
+        scale_values.push(Value::Object(vec![
+            ("scale".to_string(), serde::Serialize::to_value(&scale)),
+            ("entries".to_string(), serde::Serialize::to_value(&db.len())),
+            ("jsonl".to_string(), measurement_value(&jsonl)),
+            ("binary".to_string(), measurement_value(&binary)),
+        ]));
+        measured.push((scale, jsonl, binary));
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline: Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let scales = baseline
+            .get("scales")
+            .and_then(Value::as_array)
+            .expect("baseline has a scales array");
+        let mut failed = false;
+        for recorded in scales {
+            let scale: f64 =
+                serde::Deserialize::from_value(recorded.get("scale").expect("scale field"))
+                    .expect("numeric scale");
+            let ceiling: u64 = serde::Deserialize::from_value(
+                recorded
+                    .get("binary")
+                    .and_then(|v| v.get("bytes"))
+                    .expect("binary.bytes field"),
+            )
+            .expect("numeric bytes");
+            let Some((_, jsonl, binary)) =
+                measured.iter().find(|(s, _, _)| (s - scale).abs() < 1e-9)
+            else {
+                continue;
+            };
+            if binary.bytes > ceiling {
+                eprintln!(
+                    "REGRESSION at scale {scale}: binary snapshot {} bytes exceeds the \
+                     committed ceiling {ceiling}",
+                    binary.bytes
+                );
+                failed = true;
+            }
+            if binary.bytes >= jsonl.bytes {
+                eprintln!(
+                    "REGRESSION at scale {scale}: binary snapshot {} bytes is not smaller \
+                     than JSONL {}",
+                    binary.bytes, jsonl.bytes
+                );
+                failed = true;
+            }
+            if (scale - 1.0).abs() < 1e-9 {
+                let speedup = jsonl.load_ms / binary.load_ms;
+                if speedup < LOAD_SPEEDUP_BAR {
+                    eprintln!(
+                        "REGRESSION at scale {scale}: binary load is only {speedup:.2}x faster \
+                         than JSONL (bar: {LOAD_SPEEDUP_BAR}x)"
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check against {path}: binary bytes within the committed ceiling, smaller than \
+             JSONL, and >= {LOAD_SPEEDUP_BAR}x load speedup at paper scale"
+        );
+    }
+
+    if let Some(path) = out {
+        let doc = Value::Object(vec![
+            (
+                "schema".to_string(),
+                serde::Serialize::to_value(&"rememberr-bench-persist/v1"),
+            ),
+            ("scales".to_string(), Value::Array(scale_values)),
+        ]);
+        let json = serde_json::to_string_pretty(&doc).expect("baseline serializes");
+        std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

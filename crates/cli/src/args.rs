@@ -93,7 +93,9 @@ const VALUE_OPTIONS: &[&str] = &[
     "bench-classify",
     "bench-pipeline",
     "bench-query",
+    "bench-persist",
     "bench-out",
+    "snapshot-format",
 ];
 
 /// Parses a raw argument list (without the program name).

@@ -7,7 +7,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use rememberr::{load, save, CandidateGen, Database, DedupStrategy, Query, QueryEngine};
+use rememberr::{
+    load, save_as, CandidateGen, Database, DedupStrategy, Query, QueryEngine, SnapshotFormat,
+};
 use rememberr_analysis::{assist_highlights_analyzed, export_csvs, plan_campaign, FullReport};
 use rememberr_classify::{
     classify_database_analyzed, classify_database_with, FourEyesConfig, HumanOracle, MatcherKind,
@@ -69,6 +71,8 @@ pub fn cmd_extract(args: &ParsedArgs) -> CmdResult {
         .get("out")
         .ok_or("extract needs --out DB.jsonl")?
         .into();
+    let candidates: CandidateGen = args.get_parsed("dedup-candidates", CandidateGen::default())?;
+    let format: SnapshotFormat = args.get_parsed("snapshot-format", SnapshotFormat::default())?;
 
     // Read the page streams sequentially (I/O), then fan the CPU-heavy
     // parsing out across workers; results come back in input (Design::ALL)
@@ -97,9 +101,8 @@ pub fn cmd_extract(args: &ParsedArgs) -> CmdResult {
         documents.push(extracted.document);
     }
 
-    let candidates: CandidateGen = args.get_parsed("dedup-candidates", CandidateGen::default())?;
     let db = Database::from_documents_opts(&documents, DedupStrategy::default(), candidates);
-    write_db(&db, &out)?;
+    write_db(&db, &out, format)?;
     Ok(format!(
         "extracted {} documents -> {} entries, {} unique bugs, {} defects; saved {}",
         documents.len(),
@@ -114,6 +117,7 @@ pub fn cmd_extract(args: &ParsedArgs) -> CmdResult {
 /// [--no-humans] [--classify-matcher indexed|exhaustive]`
 pub fn cmd_classify(args: &ParsedArgs) -> CmdResult {
     let matcher: MatcherKind = args.get_parsed("classify-matcher", MatcherKind::default())?;
+    let format: SnapshotFormat = args.get_parsed("snapshot-format", SnapshotFormat::default())?;
     let mut db = read_db(args)?;
     let out: PathBuf = args
         .get("out")
@@ -138,7 +142,7 @@ pub fn cmd_classify(args: &ParsedArgs) -> CmdResult {
         &FourEyesConfig::default(),
         matcher,
     );
-    write_db(&db, &out)?;
+    write_db(&db, &out, format)?;
     Ok(format!(
         "classified {} unique errata: {} of {} decisions auto-resolved ({:.1}% reduction); saved {}",
         run.stats.unique_errata,
@@ -307,6 +311,7 @@ fn cmd_report_bench(args: &ParsedArgs) -> CmdResult {
     let classify_path = args.get("bench-classify").unwrap_or("BENCH_classify.json");
     let pipeline_path = args.get("bench-pipeline").unwrap_or("BENCH_pipeline.json");
     let query_path = args.get("bench-query").unwrap_or("BENCH_query.json");
+    let persist_path = args.get("bench-persist").unwrap_or("BENCH_persist.json");
     let mut out = String::new();
     let mut all_pass = true;
     all_pass &= render_bench_file(
@@ -360,6 +365,23 @@ fn cmd_report_bench(args: &ParsedArgs) -> CmdResult {
         // the entries the scan engine does on the selective facet battery.
         BenchGate::ReductionAtLeast(10.0),
     )?;
+    out.push('\n');
+    all_pass &= render_bench_file(
+        &mut out,
+        persist_path,
+        "rememberr-bench-persist/v1",
+        "binary columnar snapshots",
+        "entries",
+        "bytes",
+        ("binary", "jsonl"),
+        // Pinned gate: the binary snapshot is smaller than JSONL at every
+        // scale and loads at least 3x faster at the full paper scale
+        // (smaller scales are noise-dominated).
+        BenchGate::SmallerAndFasterAtScale {
+            speedup: 3.0,
+            scale: 1.0,
+        },
+    )?;
     out.push_str(if all_pass {
         "\nall pinned gates PASS\n"
     } else {
@@ -384,6 +406,10 @@ enum BenchGate {
     /// The fast side's wall clock must not exceed the slow side's at the
     /// given scale (other scales are informational).
     WallAtMostAtScale(f64),
+    /// The fast side's effort (bytes) must be below the slow side's at
+    /// every scale, and its wall clock at least `speedup` times faster at
+    /// the given scale (other scales' wall clocks are informational).
+    SmallerAndFasterAtScale { speedup: f64, scale: f64 },
 }
 
 /// Renders one `BENCH_*.json` trajectory; returns whether every scale
@@ -467,6 +493,13 @@ fn render_bench_file(
             BenchGate::WallAtMostAtScale(gated) => {
                 (scale - gated).abs() > f64::EPSILON || fast_ms <= slow_ms
             }
+            BenchGate::SmallerAndFasterAtScale {
+                speedup,
+                scale: gated,
+            } => {
+                fast < slow
+                    && ((scale - gated).abs() > f64::EPSILON || slow_ms >= speedup * fast_ms)
+            }
         };
         all_pass &= pass;
         out.push_str(&format!(
@@ -486,6 +519,10 @@ fn render_bench_file(
         BenchGate::WallAtMostAtScale(gated) => {
             format!("gate: {fast_side} wall clock <= {slow_side} at scale {gated}")
         }
+        BenchGate::SmallerAndFasterAtScale { speedup, scale } => format!(
+            "gate: {fast_side} {effort_field} < {slow_side} at every scale, \
+             load >= {speedup:.0}x faster at scale {scale}"
+        ),
     };
     out.push_str(&format!(
         "  {gate_line} — {}\n",
@@ -612,22 +649,50 @@ fn render_worker_utilization(snap: &rememberr_obs::Snapshot) -> String {
 /// Pretty-prints a metrics snapshot: either one previously written with
 /// `--metrics-out`, or a fresh one collected while loading a database.
 pub fn cmd_stats(args: &ParsedArgs) -> CmdResult {
-    let snapshot = match (args.get("metrics"), args.get("db")) {
+    let (snapshot, db_line) = match (args.get("metrics"), args.get("db")) {
         (Some(path), _) => {
             let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            serde_json::from_str::<rememberr_obs::Snapshot>(&text)
-                .map_err(|e| format!("{path}: not a metrics snapshot: {e}"))?
+            let snap = serde_json::from_str::<rememberr_obs::Snapshot>(&text)
+                .map_err(|e| format!("{path}: not a metrics snapshot: {e}"))?;
+            (snap, None)
         }
-        (None, Some(_)) => {
+        (None, Some(path)) => {
+            let line = describe_snapshot_file(path)?;
             rememberr_obs::enable();
             let db = read_db(args)?;
             let snap = rememberr_obs::snapshot();
+            let line = format!("{line}, {} entries\n\n", db.len());
             drop(db);
-            snap
+            (snap, Some(line))
         }
         (None, None) => return Err("stats needs --metrics FILE or --db DB.jsonl".into()),
     };
-    Ok(render_snapshot(&snapshot))
+    Ok(format!(
+        "{}{}",
+        db_line.unwrap_or_default(),
+        render_snapshot(&snapshot)
+    ))
+}
+
+/// One line naming a snapshot file's format (sniffed from its magic, the
+/// same dispatch `load` uses) and its size on disk.
+fn describe_snapshot_file(path: &str) -> Result<String, String> {
+    use std::io::Read as _;
+    let mut file = fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let size = file.metadata().map_err(|e| format!("{path}: {e}"))?.len();
+    let mut head = [0u8; 4];
+    let mut got = 0;
+    while got < head.len() {
+        match file
+            .read(&mut head[got..])
+            .map_err(|e| format!("{path}: {e}"))?
+        {
+            0 => break,
+            n => got += n,
+        }
+    }
+    let format = SnapshotFormat::sniff(&head[..got]);
+    Ok(format!("snapshot: {format} format, {size} bytes"))
 }
 
 /// Renders a metrics snapshot as aligned text.
@@ -669,11 +734,14 @@ pub fn usage() -> String {
 USAGE:
   rememberr generate --out DIR [--scale F] [--seed N]
   rememberr extract  --docs DIR --out DB.jsonl [--dedup-candidates indexed|exhaustive]
+                     [--snapshot-format jsonl|binary]
   rememberr classify --db DB.jsonl --out DB.jsonl [--truth truth.json] [--no-humans]
                      [--classify-matcher indexed|exhaustive]
+                     [--snapshot-format jsonl|binary]
   rememberr report   --db DB.jsonl [--csv-dir DIR]
   rememberr report   --bench [--bench-dedup FILE] [--bench-classify FILE]
-                     [--bench-pipeline FILE] [--bench-query FILE] [--bench-out FILE]
+                     [--bench-pipeline FILE] [--bench-query FILE]
+                     [--bench-persist FILE] [--bench-out FILE]
   rememberr query    --db DB.jsonl [--vendor intel|amd] [--design NAME]
                      [--trigger CODE]... [--trigger-class CODE]
                      [--context CODE]... [--effect CODE]... [--msr NAME]
@@ -701,10 +769,21 @@ PROFILE:
   and the busy-time imbalance ratio. Combine with --trace-out for a trace
   of the same run.
 
+SNAPSHOTS (extract, classify):
+  --snapshot-format jsonl|binary
+                       on-disk database format (default: jsonl). \"jsonl\"
+                       is the line-oriented interchange format and the
+                       correctness oracle; \"binary\" is the
+                       rememberr-bin/v1 columnar format (string table +
+                       checksummed sections) that loads several times
+                       faster. Every reader sniffs the format from the
+                       file's magic bytes, so --db accepts either.
+
 BENCH REPORT:
   rememberr report --bench reads the committed benchmark baselines
   (BENCH_dedup.json, BENCH_classify.json, BENCH_pipeline.json,
-  BENCH_query.json) and renders the perf trajectory with PASS/FAIL against
+  BENCH_query.json, BENCH_persist.json) and renders the perf trajectory
+  with PASS/FAIL against
   the pinned gates; exits nonzero on a schema violation or gate failure.
   --bench-out FILE also writes the rendered report to FILE (even on gate
   failure, for CI artifacts). The pipeline series compares the single-pass
@@ -821,9 +900,9 @@ fn read_db(args: &ParsedArgs) -> Result<Database, String> {
     load(file).map_err(|e| format!("{path}: {e}"))
 }
 
-fn write_db(db: &Database, path: &Path) -> Result<(), String> {
+fn write_db(db: &Database, path: &Path, format: SnapshotFormat) -> Result<(), String> {
     let file = fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    save(db, file).map_err(|e| e.to_string())
+    save_as(db, file, format).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]

@@ -401,6 +401,7 @@ fn report_bench_passes_on_committed_baselines_and_rejects_garbage() {
     let classify = root.join("BENCH_classify.json");
     let pipeline = root.join("BENCH_pipeline.json");
     let query = root.join("BENCH_query.json");
+    let persist = root.join("BENCH_persist.json");
     let report_path = tmp("bench-report.txt");
     let out = run(&[
         "report",
@@ -413,6 +414,8 @@ fn report_bench_passes_on_committed_baselines_and_rejects_garbage() {
         pipeline.to_str().unwrap(),
         "--bench-query",
         query.to_str().unwrap(),
+        "--bench-persist",
+        persist.to_str().unwrap(),
         "--bench-out",
         report_path.to_str().unwrap(),
     ]);
@@ -422,8 +425,10 @@ fn report_bench_passes_on_committed_baselines_and_rejects_garbage() {
     assert!(text.contains("bench trajectory: classification rule matching"));
     assert!(text.contains("bench trajectory: single-pass corpus analysis"));
     assert!(text.contains("bench trajectory: indexed query serving"));
+    assert!(text.contains("bench trajectory: binary columnar snapshots"));
     assert!(text.contains("tokenize_calls"), "{text}");
     assert!(text.contains("entries_scanned"), "{text}");
+    assert!(text.contains("bytes"), "{text}");
     assert!(text.contains("all pinned gates PASS"), "{text}");
     assert!(!text.contains("FAIL"), "{text}");
     // --bench-out wrote the same rendered report (stdout printing adds a
@@ -544,4 +549,124 @@ fn metrics_disabled_runs_emit_nothing() {
     assert!(out.status.success());
     assert!(stderr(&out).is_empty());
     assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn snapshot_format_binary_roundtrips_through_the_cli() {
+    let dir = tmp("binfmt-corpus");
+    let db_jsonl = tmp("binfmt-db.jsonl");
+    let db_bin = tmp("binfmt-db.bin");
+    let db_bin2 = tmp("binfmt-db2.bin");
+    let reexport = tmp("binfmt-reexport.jsonl");
+
+    let out = run(&[
+        "generate",
+        "--out",
+        dir.to_str().unwrap(),
+        "--scale",
+        "0.05",
+        "--seed",
+        "11",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Extract the same corpus in both formats; the binary file must carry
+    // the magic, be smaller, and yield the same pipeline summary.
+    let out_jsonl = run(&[
+        "extract",
+        "--docs",
+        dir.to_str().unwrap(),
+        "--out",
+        db_jsonl.to_str().unwrap(),
+        "--snapshot-format",
+        "jsonl",
+    ]);
+    assert!(out_jsonl.status.success(), "{}", stderr(&out_jsonl));
+    let out_bin = run(&[
+        "extract",
+        "--docs",
+        dir.to_str().unwrap(),
+        "--out",
+        db_bin.to_str().unwrap(),
+        "--snapshot-format",
+        "binary",
+    ]);
+    assert!(out_bin.status.success(), "{}", stderr(&out_bin));
+    // Same pipeline summary either way (only the saved path differs).
+    let summary = |out: &Output| stdout(out).split("; saved").next().unwrap().to_string();
+    assert_eq!(summary(&out_jsonl), summary(&out_bin));
+    assert!(stdout(&out_jsonl).contains("unique bugs"));
+
+    let jsonl_bytes = fs::read(&db_jsonl).unwrap();
+    let bin_bytes = fs::read(&db_bin).unwrap();
+    assert!(bin_bytes.starts_with(b"RMBR"), "binary magic missing");
+    assert!(bin_bytes.len() < jsonl_bytes.len());
+
+    // `stats --db` sniffs the format from the file, not the flag.
+    let out = run(&["stats", "--db", db_bin.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("snapshot: binary format"), "{text}");
+    assert!(text.contains("bytes"), "{text}");
+    let out = run(&["stats", "--db", db_jsonl.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("snapshot: jsonl format"));
+
+    // Classification reads the binary snapshot transparently, and the
+    // JSONL it writes matches a classify run fed from the JSONL twin.
+    let out = run(&[
+        "classify",
+        "--db",
+        db_bin.to_str().unwrap(),
+        "--out",
+        reexport.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let via_binary = fs::read(&reexport).unwrap();
+    let out = run(&[
+        "classify",
+        "--db",
+        db_jsonl.to_str().unwrap(),
+        "--out",
+        reexport.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let via_jsonl = fs::read(&reexport).unwrap();
+    assert_eq!(via_binary, via_jsonl);
+
+    // Binary bytes are worker-count invariant through the CLI too.
+    let out = run(&[
+        "extract",
+        "--docs",
+        dir.to_str().unwrap(),
+        "--out",
+        db_bin2.to_str().unwrap(),
+        "--snapshot-format",
+        "binary",
+        "--jobs",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(fs::read(&db_bin2).unwrap(), bin_bytes);
+
+    for path in [&db_jsonl, &db_bin, &db_bin2, &reexport] {
+        let _ = fs::remove_file(path);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_format_rejects_unknown_values() {
+    let out = run(&[
+        "extract",
+        "--docs",
+        "unused",
+        "--out",
+        "unused",
+        "--snapshot-format",
+        "msgpack",
+    ]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("invalid value for --snapshot-format"), "{err}");
 }

@@ -42,6 +42,7 @@ mod entry;
 mod evaluate;
 mod index;
 mod persist;
+mod persist_bin;
 mod query;
 
 pub use candidates::CandidateGen;
@@ -55,5 +56,6 @@ pub use evaluate::{
     evaluate_classification, evaluate_dedup, ClassificationEvaluation, DedupEvaluation, Prf,
 };
 pub use index::{QueryEngine, QueryIndex};
-pub use persist::{load, save, PersistError, FORMAT, VERSION};
+pub use persist::{load, save, save_as, PersistError, SnapshotFormat, FORMAT, VERSION};
+pub use persist_bin::{BIN_FORMAT, BIN_VERSION};
 pub use query::Query;

@@ -45,6 +45,7 @@ mod ids;
 mod msr;
 mod status;
 mod taxonomy;
+mod wire;
 
 pub use annotation::{Annotation, AnnotationBuilder};
 pub use catset::{Catalog, CategorySet, ContextSet, EffectSet, Iter, TriggerSet};
@@ -58,6 +59,7 @@ pub use ids::UniqueKey;
 pub use msr::{MsrName, MsrRef};
 pub use status::{FixStatus, WorkaroundCategory};
 pub use taxonomy::{Category, Context, ContextClass, Effect, EffectClass, Trigger, TriggerClass};
+pub use wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
 
 #[cfg(test)]
 mod tests {

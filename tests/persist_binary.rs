@@ -1,0 +1,162 @@
+//! Binary snapshot correctness: the `rememberr-bin/v1` columnar format
+//! must be an invisible throughput knob. A binary roundtrip reproduces
+//! the database the JSONL oracle reproduces, re-exported JSONL after a
+//! binary roundtrip is byte-identical to JSONL written directly, the
+//! binary bytes are identical at every worker count, and corruption in
+//! any section is rejected instead of loading a wrong database.
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rememberr::{load, save_as, Database, PersistError, SnapshotFormat};
+use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+
+/// A fully classified database at a representative scale, built once.
+fn annotated_db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::scaled(0.15));
+        let mut db = Database::from_documents(&corpus.structured);
+        classify_database(
+            &mut db,
+            &Rules::standard(),
+            HumanOracle::Simulated(&corpus.truth),
+            &FourEyesConfig::default(),
+        );
+        db
+    })
+}
+
+fn snapshot(db: &Database, format: SnapshotFormat) -> Vec<u8> {
+    let mut buf = Vec::new();
+    save_as(db, &mut buf, format).expect("in-memory save succeeds");
+    buf
+}
+
+proptest! {
+    // Each case generates and classifies a corpus, so keep the count
+    // modest; scale and seed vary the string-table shape, annotation
+    // density, and chunk fill.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn binary_roundtrip_matches_jsonl_oracle(
+        scale in 0.02f64..0.06,
+        seed in 0u64..1_000_000,
+        classify in any::<bool>(),
+    ) {
+        let mut spec = CorpusSpec::scaled(scale);
+        spec.seed = seed;
+        let corpus = SyntheticCorpus::generate(&spec);
+        let mut db = Database::from_documents(&corpus.structured);
+        if classify {
+            classify_database(
+                &mut db,
+                &Rules::standard(),
+                HumanOracle::Simulated(&corpus.truth),
+                &FourEyesConfig::default(),
+            );
+        }
+
+        let jsonl = snapshot(&db, SnapshotFormat::Jsonl);
+        let binary = snapshot(&db, SnapshotFormat::Binary);
+        let via_jsonl = load(jsonl.as_slice()).expect("jsonl loads");
+        let via_binary = load(binary.as_slice()).expect("binary loads");
+        prop_assert_eq!(&via_jsonl, &db, "the JSONL oracle roundtrips");
+        prop_assert_eq!(&via_binary, &via_jsonl, "binary agrees with the oracle");
+        prop_assert_eq!(via_binary.dedup_stats(), db.dedup_stats());
+
+        // Re-exported JSONL after a binary roundtrip is byte-identical.
+        let reexport = snapshot(&via_binary, SnapshotFormat::Jsonl);
+        prop_assert_eq!(reexport, jsonl);
+
+        // The binary flavor actually buys its keep: smaller than JSONL.
+        prop_assert!(binary.len() < jsonl.len());
+    }
+}
+
+#[test]
+fn binary_bytes_identical_across_worker_counts() {
+    let db = annotated_db();
+    let mut snapshots = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        rememberr_par::set_jobs(NonZeroUsize::new(jobs));
+        snapshots.push((jobs, snapshot(db, SnapshotFormat::Binary)));
+    }
+    rememberr_par::set_jobs(None);
+    let (_, reference) = &snapshots[0];
+    for (jobs, bytes) in &snapshots {
+        assert_eq!(
+            bytes, reference,
+            "binary snapshot at jobs={jobs} diverged from jobs=1"
+        );
+    }
+    // And the bytes decode back to the database they were saved from.
+    assert_eq!(&load(reference.as_slice()).unwrap(), db);
+}
+
+#[test]
+fn loading_is_jobs_invariant() {
+    let db = annotated_db();
+    let bytes = snapshot(db, SnapshotFormat::Binary);
+    for jobs in [1usize, 2, 8] {
+        rememberr_par::set_jobs(NonZeroUsize::new(jobs));
+        let back = load(bytes.as_slice()).unwrap();
+        assert_eq!(&back, db, "decode at jobs={jobs}");
+    }
+    rememberr_par::set_jobs(None);
+}
+
+#[test]
+fn corrupt_snapshots_are_rejected() {
+    let db = annotated_db();
+    let bytes = snapshot(db, SnapshotFormat::Binary);
+
+    // Bad magic: the stream is no longer recognized as binary and the
+    // JSONL fallback rejects it too.
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] = b'Z';
+    assert!(load(bad_magic.as_slice()).is_err(), "bad magic must fail");
+
+    // A flipped byte anywhere in a section payload trips that section's
+    // checksum.
+    for position in [bytes.len() / 4, bytes.len() / 2, bytes.len() - 30] {
+        let mut corrupted = bytes.clone();
+        corrupted[position] ^= 0x40;
+        let err = load(corrupted.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                PersistError::Corrupt(_) | PersistError::BadHeader(_) | PersistError::Io(_)
+            ),
+            "flip at {position}: got {err}"
+        );
+    }
+
+    // A truncated section is rejected, never partially loaded.
+    for keep in [bytes.len() - 1, bytes.len() / 2, 16] {
+        let err = load(&bytes[..keep]).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Corrupt(_)),
+            "truncation to {keep} bytes: got {err}"
+        );
+    }
+}
+
+#[test]
+fn truncated_jsonl_is_rejected() {
+    let db = annotated_db();
+    let jsonl = String::from_utf8(snapshot(db, SnapshotFormat::Jsonl)).unwrap();
+    let truncated: String = jsonl
+        .lines()
+        .take(db.len()) // header + all but the last record
+        .map(|line| format!("{line}\n"))
+        .collect();
+    assert!(matches!(
+        load(truncated.as_bytes()),
+        Err(PersistError::Truncated { expected, found })
+            if expected == db.len() && found == db.len() - 1
+    ));
+}
