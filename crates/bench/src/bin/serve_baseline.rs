@@ -1,0 +1,379 @@
+//! Serve-daemon baseline: drives a real loopback load against an
+//! in-process `rememberr-serve` server at the paper scale and pins the
+//! result as `BENCH_serve.json`.
+//!
+//! ```text
+//! serve_baseline [--out FILE] [--check FILE]
+//! ```
+//!
+//! * `--out FILE` — write the measured baseline (throughput, client-side
+//!   latency quantiles, oracle divergences, shed count) as JSON.
+//! * `--check FILE` — read a previously committed baseline and fail
+//!   (exit 1) if a *deterministic* property regressed: the fresh run must
+//!   show zero indexed-vs-scan divergences and must still shed under
+//!   deliberate saturation, and the committed file must carry the same
+//!   schema. Wall-clock numbers are recorded for context but a fresh
+//!   run's clock is never compared against the committed one — machines
+//!   differ; `report --bench` gates the committed claims instead.
+//!
+//! Three phases, all against real sockets:
+//!
+//! 1. **Oracle** — every battery target is fetched twice, `engine=indexed`
+//!    and `engine=scan`; any body difference is a divergence (must be 0).
+//! 2. **Throughput** — keep-alive clients (one per worker) cycle the
+//!    battery for a fixed request count; latency is measured client-side
+//!    per request.
+//! 3. **Saturation** — a deliberately tiny server (1 worker, queue depth
+//!    1, slow fixture) is overloaded to prove admission control sheds
+//!    with 503 instead of queueing without bound.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use rememberr::Database;
+use rememberr_classify::{classify_database, FourEyesConfig, HumanOracle, Rules};
+use rememberr_docgen::{CorpusSpec, SyntheticCorpus};
+use rememberr_model::{Context, Effect, Trigger};
+use rememberr_serve::{ServeConfig, Server};
+use serde::Value;
+
+const WORKERS: usize = 4;
+const QUEUE_DEPTH: usize = 64;
+const REQUEST_TIMEOUT_MS: u64 = 2_000;
+/// Keep-alive requests each throughput client sends.
+const REQUESTS_PER_CLIENT: usize = 2_500;
+
+/// The mixed query/count battery the load clients cycle through: the
+/// selective facet shapes the analysis figures serve, date windows, and a
+/// composite, echoing the `query_baseline` battery over HTTP.
+fn battery() -> Vec<String> {
+    let mut targets = vec![
+        "/count?vendor=intel&unique=1".to_string(),
+        "/count?vendor=amd&unique=1".to_string(),
+        "/query?vendor=intel&workaround=bios&limit=5".to_string(),
+        "/count?after=2016-01-01&before=2019-01-01&unique=1".to_string(),
+        "/query?annotated=1&min-triggers=2&limit=5".to_string(),
+        "/count?fix=no-fix-planned&vendor=amd".to_string(),
+    ];
+    targets.push(format!(
+        "/query?trigger={}&unique=1&limit=5",
+        Trigger::ALL[0]
+    ));
+    targets.push(format!("/count?trigger={}&vendor=intel", Trigger::ALL[3]));
+    targets.push(format!("/count?context={}&unique=1", Context::ALL[2]));
+    targets.push(format!("/query?effect={}&unique=1&limit=5", Effect::ALL[1]));
+    targets.push(format!("/count?effect={}&vendor=amd", Effect::ALL[0]));
+    targets.push(format!(
+        "/count?trigger={}&effect={}",
+        Trigger::ALL[1],
+        Effect::ALL[2]
+    ));
+    targets
+}
+
+/// A keep-alive HTTP/1.1 client over one TCP connection.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        Client {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// One GET on the persistent connection; returns (status, body).
+    fn get(&mut self, target: &str) -> (u16, String) {
+        write!(self.stream, "GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n")
+            .expect("request writes");
+        // Read to the end of headers, then exactly Content-Length bytes.
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk).expect("response reads") {
+                0 => panic!("connection closed mid-response ({target})"),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let head = String::from_utf8(self.buf[..head_end].to_vec()).expect("UTF-8 head");
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no status in {head:?}"));
+        let length: usize = head
+            .lines()
+            .find_map(|l| {
+                l.to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                    .map(str::to_string)
+            })
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no content-length in {head:?}"));
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + length {
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk).expect("body reads") {
+                0 => panic!("connection closed mid-body ({target})"),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let body =
+            String::from_utf8(self.buf[body_start..body_start + length].to_vec()).expect("UTF-8");
+        self.buf.drain(..body_start + length);
+        (status, body)
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Builds the paper-scale annotated snapshot on disk; returns (path, len).
+fn paper_snapshot() -> (PathBuf, usize) {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::paper());
+    let mut db = Database::from_documents(&corpus.structured);
+    classify_database(
+        &mut db,
+        &Rules::standard(),
+        HumanOracle::Simulated(&corpus.truth),
+        &FourEyesConfig::default(),
+    );
+    let dir = std::env::temp_dir().join(format!("rememberr-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let path = dir.join("paper.jsonl");
+    let mut bytes = Vec::new();
+    rememberr::save(&db, &mut bytes).expect("snapshot serializes");
+    std::fs::write(&path, bytes).expect("snapshot writes");
+    (path, db.len())
+}
+
+/// Phase 1: every battery target under both engines; a body mismatch is a
+/// divergence. Returns (divergences, request pairs compared).
+fn oracle_phase(addr: SocketAddr, targets: &[String]) -> (u64, u64) {
+    let mut client = Client::connect(addr);
+    let mut divergences = 0u64;
+    let mut pairs = 0u64;
+    for target in targets {
+        let sep = if target.contains('?') { '&' } else { '?' };
+        let (s1, indexed) = client.get(&format!("{target}{sep}engine=indexed"));
+        let (s2, scan) = client.get(&format!("{target}{sep}engine=scan"));
+        pairs += 1;
+        if s1 != 200 || s2 != 200 || indexed != scan {
+            eprintln!("DIVERGENCE on {target}: indexed {s1} {indexed:?} vs scan {s2} {scan:?}");
+            divergences += 1;
+        }
+    }
+    (divergences, pairs)
+}
+
+/// Phase 2: `WORKERS` keep-alive clients cycle the battery concurrently.
+/// Returns (requests, elapsed, sorted per-request latencies).
+fn throughput_phase(addr: SocketAddr, targets: &[String]) -> (u64, Duration, Vec<Duration>) {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|c| {
+            let targets = targets.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                for i in 0..REQUESTS_PER_CLIENT {
+                    // Offset each client so they do not hit the same
+                    // target in lockstep.
+                    let target = &targets[(i + c * 3) % targets.len()];
+                    let sent = Instant::now();
+                    let (status, _body) = client.get(target);
+                    assert_eq!(status, 200, "{target}");
+                    latencies.push(sent.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(WORKERS * REQUESTS_PER_CLIENT);
+    for handle in handles {
+        latencies.extend(handle.join().expect("client thread"));
+    }
+    let elapsed = start.elapsed();
+    latencies.sort();
+    (latencies.len() as u64, elapsed, latencies)
+}
+
+/// Phase 3: a 1-worker, depth-1 server with the slow fixture is overrun;
+/// admission control must shed at least one connection with 503.
+fn saturation_phase(snapshot: &Path) -> u64 {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 1,
+        request_timeout: Duration::from_millis(REQUEST_TIMEOUT_MS),
+        drain_timeout: Duration::from_millis(2_000),
+        slow_endpoint: true,
+    };
+    let server = Server::start(config, snapshot.to_path_buf()).expect("saturation server starts");
+    let addr = server.local_addr();
+    // Occupy the worker, give the acceptor time to queue it, then fill
+    // the depth-1 queue and overflow it.
+    let holder = std::thread::spawn(move || Client::connect(addr).get("/slow?ms=600"));
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = std::thread::spawn(move || Client::connect(addr).get("/healthz"));
+    std::thread::sleep(Duration::from_millis(100));
+    let mut shed_seen = 0u64;
+    for _ in 0..4 {
+        let (status, _body) = Client::connect(addr).get("/healthz");
+        if status == 503 {
+            shed_seen += 1;
+        }
+    }
+    assert_eq!(holder.join().expect("holder").0, 200);
+    assert_eq!(queued.join().expect("queued").0, 200);
+    let summary = server.stop_and_wait();
+    assert_eq!(summary.shed, shed_seen, "summary agrees with client view");
+    summary.shed
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(args.next().expect("--out needs a file")),
+            "--check" => check = Some(args.next().expect("--check needs a file")),
+            other => {
+                eprintln!("usage: serve_baseline [--out FILE] [--check FILE] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Long-running load: keep counters but not span records.
+    rememberr_obs::reset();
+    rememberr_obs::enable();
+    rememberr_obs::retain_spans(false);
+
+    let (snapshot, entries) = paper_snapshot();
+    let targets = battery();
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: WORKERS,
+        queue_depth: QUEUE_DEPTH,
+        request_timeout: Duration::from_millis(REQUEST_TIMEOUT_MS),
+        drain_timeout: Duration::from_millis(2_000),
+        slow_endpoint: false,
+    };
+    let server = Server::start(config, snapshot.clone()).expect("server starts");
+    let addr = server.local_addr();
+
+    let (divergences, pairs) = oracle_phase(addr, &targets);
+    let (requests, elapsed, latencies) = throughput_phase(addr, &targets);
+    let summary = server.stop_and_wait();
+    assert_eq!(summary.shed, 0, "load run must not shed below saturation");
+    assert_eq!(summary.timeouts, 0, "load run must not time out");
+
+    let throughput = requests as f64 / elapsed.as_secs_f64();
+    let p50 = quantile(&latencies, 0.50);
+    let p99 = quantile(&latencies, 0.99);
+    println!(
+        "paper scale: {entries} entries, {WORKERS} workers | {requests} requests in \
+         {:.2} s = {throughput:.0} req/s | p50 {:.0} us, p99 {:.0} us | \
+         {divergences} divergences over {pairs} oracle pairs",
+        elapsed.as_secs_f64(),
+        p50.as_secs_f64() * 1e6,
+        p99.as_secs_f64() * 1e6,
+    );
+
+    let shed = saturation_phase(&snapshot);
+    println!("saturation: {shed} connections shed with 503");
+
+    // Deterministic gates of the fresh run itself.
+    assert_eq!(divergences, 0, "served indexed engine diverged from scan");
+    assert!(shed >= 1, "saturation produced no shed");
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline: Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let schema = baseline
+            .get("schema")
+            .and_then(Value::as_str)
+            .expect("baseline has a schema");
+        assert_eq!(
+            schema, "rememberr-bench-serve/v1",
+            "committed baseline carries a different schema"
+        );
+        let committed_entries: u64 =
+            serde::Deserialize::from_value(baseline.get("entries").expect("entries field"))
+                .expect("numeric entries");
+        assert_eq!(
+            committed_entries, entries as u64,
+            "paper-scale corpus size changed; regenerate BENCH_serve.json"
+        );
+        println!(
+            "check against {path}: schema and corpus match; fresh run has 0 divergences \
+             and sheds under saturation (wall-clock is informational, not compared)"
+        );
+    }
+
+    if let Some(path) = out {
+        let doc = Value::Object(vec![
+            (
+                "schema".to_string(),
+                serde::Serialize::to_value(&"rememberr-bench-serve/v1"),
+            ),
+            ("entries".to_string(), serde::Serialize::to_value(&entries)),
+            ("workers".to_string(), serde::Serialize::to_value(&WORKERS)),
+            (
+                "requests".to_string(),
+                serde::Serialize::to_value(&requests),
+            ),
+            (
+                "throughput_rps".to_string(),
+                serde::Serialize::to_value(&throughput),
+            ),
+            (
+                "p50_us".to_string(),
+                serde::Serialize::to_value(&(p50.as_secs_f64() * 1e6)),
+            ),
+            (
+                "p99_us".to_string(),
+                serde::Serialize::to_value(&(p99.as_secs_f64() * 1e6)),
+            ),
+            (
+                "request_timeout_ms".to_string(),
+                serde::Serialize::to_value(&REQUEST_TIMEOUT_MS),
+            ),
+            (
+                "divergences".to_string(),
+                serde::Serialize::to_value(&divergences),
+            ),
+            (
+                "oracle_requests".to_string(),
+                serde::Serialize::to_value(&pairs),
+            ),
+            ("shed".to_string(), serde::Serialize::to_value(&shed)),
+        ]);
+        let json = serde_json::to_string_pretty(&doc).expect("baseline serializes");
+        std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

@@ -95,7 +95,12 @@ const VALUE_OPTIONS: &[&str] = &[
     "bench-query",
     "bench-persist",
     "bench-out",
+    "bench-serve",
     "snapshot-format",
+    "addr",
+    "workers",
+    "queue-depth",
+    "request-timeout-ms",
 ];
 
 /// Parses a raw argument list (without the program name).

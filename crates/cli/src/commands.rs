@@ -18,8 +18,8 @@ use rememberr_classify::{
 use rememberr_docgen::{CorpusSpec, GroundTruth, SyntheticCorpus};
 use rememberr_extract::{extract_corpus, extract_document};
 use rememberr_model::{
-    Context, Date, Design, Effect, FixStatus, MsrName, Trigger, TriggerClass, Vendor,
-    WorkaroundCategory,
+    parse_fix, parse_vendor, parse_workaround, Context, Date, Design, Effect, MsrName, Trigger,
+    TriggerClass,
 };
 
 use crate::args::ParsedArgs;
@@ -299,89 +299,227 @@ pub fn cmd_export(args: &ParsedArgs) -> CmdResult {
     ))
 }
 
-/// `rememberr report --bench`: renders the committed benchmark baselines
-/// (`BENCH_dedup.json`, `BENCH_classify.json`, `BENCH_pipeline.json`,
-/// `BENCH_query.json`) as a perf trajectory with pass/fail against the
-/// pinned gates. Doubles as a
-/// schema check: a baseline that fails to parse or lacks a gate field is an
-/// error. With `--bench-out FILE`, the rendered report is also written to
-/// `FILE` (even when a gate fails, so CI can archive the failing report).
+/// `rememberr serve --db DB.jsonl [--addr HOST:PORT] [--workers N]
+/// [--queue-depth N] [--request-timeout-ms N]`
+///
+/// Loads the snapshot once, then blocks serving HTTP until `POST
+/// /shutdown` (or the process is killed); the returned string is the exit
+/// summary. Option validation happens before the snapshot is read so a
+/// typo fails immediately, not after a multi-second load.
+pub fn cmd_serve(args: &ParsedArgs) -> CmdResult {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8377").to_string();
+    addr.parse::<std::net::SocketAddr>().map_err(|_| {
+        format!("invalid --addr {addr:?} (expected HOST:PORT, e.g. 127.0.0.1:8377)")
+    })?;
+    let workers: usize = args.get_parsed("workers", 4)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let queue_depth: usize = args.get_parsed("queue-depth", 64)?;
+    if queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".into());
+    }
+    let timeout_ms: u64 = args.get_parsed("request-timeout-ms", 2_000)?;
+    if timeout_ms == 0 {
+        return Err("--request-timeout-ms must be at least 1".into());
+    }
+    let db_path: PathBuf = args.get("db").ok_or("serve needs --db DB.jsonl")?.into();
+
+    let config = rememberr_serve::ServeConfig {
+        addr,
+        workers,
+        queue_depth,
+        request_timeout: std::time::Duration::from_millis(timeout_ms),
+        ..rememberr_serve::ServeConfig::default()
+    };
+    // A daemon must not accumulate span records; counters and the latency
+    // histogram stay on and feed `GET /metrics`.
+    rememberr_obs::enable();
+    rememberr_obs::retain_spans(false);
+    let server = rememberr_serve::Server::start(config, db_path)?;
+    println!(
+        "serving on http://{} ({workers} workers, queue depth {queue_depth}, \
+         {timeout_ms} ms deadline); POST /shutdown to stop",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let summary = server.wait();
+    Ok(format!(
+        "served {} requests ({} shed, {} timeouts, {} reloads); generation {} at exit",
+        summary.requests, summary.shed, summary.timeouts, summary.reloads, summary.generation
+    ))
+}
+
+/// One registered benchmark baseline: where it lives, what schema it must
+/// carry, and how it is rendered and gated. New baselines are added here —
+/// `cmd_report_bench` iterates the registry, and any `BENCH_*.json` in the
+/// working directory that is *not* registered is reported as a failure
+/// rather than silently skipped.
+struct BenchSpec {
+    /// CLI override option (`--bench-dedup FILE`).
+    option: &'static str,
+    /// Committed file name, also the registry key for the directory scan.
+    default_path: &'static str,
+    /// Exact `"schema"` string the file must carry.
+    schema: &'static str,
+    /// Human title for the report heading.
+    title: &'static str,
+    /// How the file is rendered and gated.
+    kind: BenchKind,
+}
+
+/// The two baseline shapes the report understands.
+enum BenchKind {
+    /// A fast-vs-slow effort trajectory over corpus scales
+    /// (the `{"scales": [...]}` shape every pipeline benchmark uses).
+    Trajectory {
+        /// Scale-entry field naming the corpus size.
+        size_field: &'static str,
+        /// Per-side field holding the deterministic effort metric.
+        effort_field: &'static str,
+        /// `(fast, slow)` side names inside each scale entry.
+        sides: (&'static str, &'static str),
+        /// Pass/fail rule.
+        gate: BenchGate,
+    },
+    /// The serve daemon load benchmark (single document, not a trajectory).
+    Serve,
+}
+
+/// Every baseline `report --bench` knows about, in render order.
+const BENCH_REGISTRY: &[BenchSpec] = &[
+    BenchSpec {
+        option: "bench-dedup",
+        default_path: "BENCH_dedup.json",
+        schema: "rememberr-bench-dedup/v1",
+        title: "dedup candidate generation",
+        kind: BenchKind::Trajectory {
+            size_field: "entries",
+            effort_field: "comparisons_made",
+            sides: ("indexed", "exhaustive"),
+            // Pinned gate: lossless pruning — the indexed path never does
+            // more full edit-distance comparisons than the exhaustive
+            // oracle.
+            gate: BenchGate::FastAtMostSlow,
+        },
+    },
+    BenchSpec {
+        option: "bench-classify",
+        default_path: "BENCH_classify.json",
+        schema: "rememberr-bench-classify/v1",
+        title: "classification rule matching",
+        kind: BenchKind::Trajectory {
+            size_field: "unique_errata",
+            effort_field: "pattern_evals",
+            sides: ("indexed", "exhaustive"),
+            // Pinned gate: the indexed matcher keeps its >=10x eval
+            // reduction.
+            gate: BenchGate::ReductionAtLeast(10.0),
+        },
+    },
+    BenchSpec {
+        option: "bench-pipeline",
+        default_path: "BENCH_pipeline.json",
+        schema: "rememberr-bench-pipeline/v1",
+        title: "single-pass corpus analysis",
+        kind: BenchKind::Trajectory {
+            size_field: "entries",
+            effort_field: "tokenize_calls",
+            sides: ("one_pass", "per_stage"),
+            // Pinned gate: sharing the analysis arena keeps the
+            // end-to-end pipeline at least as fast as per-stage
+            // re-tokenization at the full paper scale (smaller scales are
+            // noise-dominated).
+            gate: BenchGate::WallAtMostAtScale(1.0),
+        },
+    },
+    BenchSpec {
+        option: "bench-query",
+        default_path: "BENCH_query.json",
+        schema: "rememberr-bench-query/v1",
+        title: "indexed query serving",
+        kind: BenchKind::Trajectory {
+            size_field: "entries",
+            effort_field: "entries_scanned",
+            sides: ("indexed", "scan"),
+            // Pinned gate: posting-list intersection visits at most a
+            // tenth of the entries the scan engine does on the selective
+            // facet battery.
+            gate: BenchGate::ReductionAtLeast(10.0),
+        },
+    },
+    BenchSpec {
+        option: "bench-persist",
+        default_path: "BENCH_persist.json",
+        schema: "rememberr-bench-persist/v1",
+        title: "binary columnar snapshots",
+        kind: BenchKind::Trajectory {
+            size_field: "entries",
+            effort_field: "bytes",
+            sides: ("binary", "jsonl"),
+            // Pinned gate: the binary snapshot is smaller than JSONL at
+            // every scale and loads at least 3x faster at the full paper
+            // scale (smaller scales are noise-dominated).
+            gate: BenchGate::SmallerAndFasterAtScale {
+                speedup: 3.0,
+                scale: 1.0,
+            },
+        },
+    },
+    BenchSpec {
+        option: "bench-serve",
+        default_path: "BENCH_serve.json",
+        schema: "rememberr-bench-serve/v1",
+        title: "concurrent query serving",
+        kind: BenchKind::Serve,
+    },
+];
+
+/// `rememberr report --bench`: renders every registered benchmark baseline
+/// (see [`BENCH_REGISTRY`]) with pass/fail against the pinned gates.
+/// Doubles as a schema check: a baseline that fails to parse or lacks a
+/// gate field is a failure, as is any unreadable registered file or any
+/// unregistered `BENCH_*.json` lying in the working directory — nothing is
+/// silently skipped. With `--bench-out FILE`, the rendered report is also
+/// written to `FILE` (even when a gate fails, so CI can archive the
+/// failing report).
 fn cmd_report_bench(args: &ParsedArgs) -> CmdResult {
-    let dedup_path = args.get("bench-dedup").unwrap_or("BENCH_dedup.json");
-    let classify_path = args.get("bench-classify").unwrap_or("BENCH_classify.json");
-    let pipeline_path = args.get("bench-pipeline").unwrap_or("BENCH_pipeline.json");
-    let query_path = args.get("bench-query").unwrap_or("BENCH_query.json");
-    let persist_path = args.get("bench-persist").unwrap_or("BENCH_persist.json");
     let mut out = String::new();
     let mut all_pass = true;
-    all_pass &= render_bench_file(
-        &mut out,
-        dedup_path,
-        "rememberr-bench-dedup/v1",
-        "dedup candidate generation",
-        "entries",
-        "comparisons_made",
-        ("indexed", "exhaustive"),
-        // Pinned gate: lossless pruning — the indexed path never does more
-        // full edit-distance comparisons than the exhaustive oracle.
-        BenchGate::FastAtMostSlow,
-    )?;
+    for (i, spec) in BENCH_REGISTRY.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let path = args.get(spec.option).unwrap_or(spec.default_path);
+        let rendered = match &spec.kind {
+            BenchKind::Trajectory {
+                size_field,
+                effort_field,
+                sides,
+                gate,
+            } => render_bench_file(
+                &mut out,
+                path,
+                spec.schema,
+                spec.title,
+                size_field,
+                effort_field,
+                *sides,
+                *gate,
+            ),
+            BenchKind::Serve => render_serve_bench(&mut out, path, spec.schema, spec.title),
+        };
+        // An unreadable or malformed file is a named failure in the
+        // report, not an abort: the remaining baselines still render so
+        // CI artifacts show the full picture.
+        all_pass &= rendered.unwrap_or_else(|message| {
+            out.push_str(&format!("bench baseline {path}: FAIL — {message}\n"));
+            false
+        });
+    }
     out.push('\n');
-    all_pass &= render_bench_file(
-        &mut out,
-        classify_path,
-        "rememberr-bench-classify/v1",
-        "classification rule matching",
-        "unique_errata",
-        "pattern_evals",
-        ("indexed", "exhaustive"),
-        // Pinned gate: the indexed matcher keeps its >=10x eval reduction.
-        BenchGate::ReductionAtLeast(10.0),
-    )?;
-    out.push('\n');
-    all_pass &= render_bench_file(
-        &mut out,
-        pipeline_path,
-        "rememberr-bench-pipeline/v1",
-        "single-pass corpus analysis",
-        "entries",
-        "tokenize_calls",
-        ("one_pass", "per_stage"),
-        // Pinned gate: sharing the analysis arena keeps the end-to-end
-        // pipeline at least as fast as per-stage re-tokenization at the
-        // full paper scale (smaller scales are noise-dominated).
-        BenchGate::WallAtMostAtScale(1.0),
-    )?;
-    out.push('\n');
-    all_pass &= render_bench_file(
-        &mut out,
-        query_path,
-        "rememberr-bench-query/v1",
-        "indexed query serving",
-        "entries",
-        "entries_scanned",
-        ("indexed", "scan"),
-        // Pinned gate: posting-list intersection visits at most a tenth of
-        // the entries the scan engine does on the selective facet battery.
-        BenchGate::ReductionAtLeast(10.0),
-    )?;
-    out.push('\n');
-    all_pass &= render_bench_file(
-        &mut out,
-        persist_path,
-        "rememberr-bench-persist/v1",
-        "binary columnar snapshots",
-        "entries",
-        "bytes",
-        ("binary", "jsonl"),
-        // Pinned gate: the binary snapshot is smaller than JSONL at every
-        // scale and loads at least 3x faster at the full paper scale
-        // (smaller scales are noise-dominated).
-        BenchGate::SmallerAndFasterAtScale {
-            speedup: 3.0,
-            scale: 1.0,
-        },
-    )?;
+    all_pass &= render_unregistered_baselines(&mut out)?;
     out.push_str(if all_pass {
         "\nall pinned gates PASS\n"
     } else {
@@ -397,7 +535,123 @@ fn cmd_report_bench(args: &ParsedArgs) -> CmdResult {
     }
 }
 
+/// Scans the working directory for `BENCH_*.json` files that no registry
+/// entry claims and lists each one as an explicit failure. A baseline that
+/// exists but is not wired into [`BENCH_REGISTRY`] would otherwise be a
+/// gate that silently never runs.
+fn render_unregistered_baselines(out: &mut String) -> Result<bool, String> {
+    let mut strays: Vec<String> = Vec::new();
+    let entries = fs::read_dir(".").map_err(|e| format!("cannot scan working directory: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot scan working directory: {e}"))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("BENCH_")
+            && name.ends_with(".json")
+            && !BENCH_REGISTRY.iter().any(|s| s.default_path == name)
+        {
+            strays.push(name.to_string());
+        }
+    }
+    strays.sort();
+    if strays.is_empty() {
+        return Ok(true);
+    }
+    for name in &strays {
+        out.push_str(&format!(
+            "unregistered baseline {name}: FAIL — present in the working \
+             directory but not in the bench registry (its gate never runs)\n"
+        ));
+    }
+    Ok(false)
+}
+
+/// Renders the serve load benchmark (`rememberr-bench-serve/v1`): one
+/// paper-scale document rather than a scale trajectory. Gates are the
+/// deterministic claims the committed baseline makes: zero divergences
+/// between the served indexed engine and the scan oracle, at least one
+/// shed under deliberate saturation, a measured p99 under the request
+/// deadline, and throughput at or above the 5,000 req/s floor.
+fn render_serve_bench(
+    out: &mut String,
+    path: &str,
+    want_schema: &str,
+    title: &str,
+) -> Result<bool, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc: serde::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(serde::Value::as_str)
+        .ok_or_else(|| format!("{path}: missing \"schema\" field"))?;
+    if schema != want_schema {
+        return Err(format!(
+            "{path}: schema {schema:?}, expected {want_schema:?}"
+        ));
+    }
+    let get_u64 = |field: &str| -> Result<u64, String> {
+        let value = doc
+            .get(field)
+            .ok_or_else(|| format!("{path}: missing {field:?}"))?;
+        serde::Deserialize::from_value(value).map_err(|e| format!("{path}: {field}: {e}"))
+    };
+    let get_f64 = |field: &str| -> Result<f64, String> {
+        let value = doc
+            .get(field)
+            .ok_or_else(|| format!("{path}: missing {field:?}"))?;
+        serde::Deserialize::from_value(value).map_err(|e| format!("{path}: {field}: {e}"))
+    };
+    let entries = get_u64("entries")?;
+    let workers = get_u64("workers")?;
+    let requests = get_u64("requests")?;
+    let throughput = get_f64("throughput_rps")?;
+    let p50_us = get_f64("p50_us")?;
+    let p99_us = get_f64("p99_us")?;
+    let timeout_ms = get_u64("request_timeout_ms")?;
+    let divergences = get_u64("divergences")?;
+    let oracle_requests = get_u64("oracle_requests")?;
+    let shed = get_u64("shed")?;
+
+    out.push_str(&format!("bench trajectory: {title} ({path})\n"));
+    out.push_str(&format!(
+        "  {entries} entries, {workers} workers: {requests} requests at \
+         {throughput:.0} req/s | p50 {p50_us:.0} us, p99 {p99_us:.0} us \
+         (deadline {timeout_ms} ms)\n",
+    ));
+    out.push_str(&format!(
+        "  oracle: {divergences} divergences over {oracle_requests} \
+         indexed-vs-scan request pairs | saturation: {shed} shed\n",
+    ));
+    let mut all_pass = true;
+    let mut gate = |label: String, pass: bool| {
+        all_pass &= pass;
+        out.push_str(&format!(
+            "  gate: {label} — {}\n",
+            if pass { "PASS" } else { "FAIL" }
+        ));
+    };
+    gate(
+        "served bodies byte-identical to the scan oracle".to_string(),
+        divergences == 0 && oracle_requests > 0,
+    );
+    gate(
+        "saturation sheds with 503 (shed >= 1)".to_string(),
+        shed >= 1,
+    );
+    gate(
+        format!("p99 under the {timeout_ms} ms request deadline"),
+        p99_us < timeout_ms as f64 * 1_000.0,
+    );
+    gate(
+        format!("throughput >= 5000 req/s (measured {throughput:.0})"),
+        throughput >= 5_000.0,
+    );
+    Ok(all_pass)
+}
+
 /// The pass/fail rule a benchmark baseline is held to.
+#[derive(Clone, Copy)]
 enum BenchGate {
     /// The fast side's effort must not exceed the slow (oracle) side's.
     FastAtMostSlow,
@@ -713,10 +967,12 @@ fn render_snapshot(snap: &rememberr_obs::Snapshot) -> String {
     let width = snap.durations.keys().map(String::len).max().unwrap_or(0);
     for (name, h) in &snap.durations {
         out.push_str(&format!(
-            "  {name:width$}  n={} total={:.3}ms mean={:.3}ms max={:.3}ms\n",
+            "  {name:width$}  n={} total={:.3}ms mean={:.3}ms p50={:.3}ms p99={:.3}ms max={:.3}ms\n",
             h.count,
             h.total_ns as f64 / 1e6,
             h.mean_ns() as f64 / 1e6,
+            h.quantile_ns(0.50) as f64 / 1e6,
+            h.quantile_ns(0.99) as f64 / 1e6,
             h.max_ns as f64 / 1e6,
         ));
     }
@@ -741,7 +997,8 @@ USAGE:
   rememberr report   --db DB.jsonl [--csv-dir DIR]
   rememberr report   --bench [--bench-dedup FILE] [--bench-classify FILE]
                      [--bench-pipeline FILE] [--bench-query FILE]
-                     [--bench-persist FILE] [--bench-out FILE]
+                     [--bench-persist FILE] [--bench-serve FILE]
+                     [--bench-out FILE]
   rememberr query    --db DB.jsonl [--vendor intel|amd] [--design NAME]
                      [--trigger CODE]... [--trigger-class CODE]
                      [--context CODE]... [--effect CODE]... [--msr NAME]
@@ -750,6 +1007,8 @@ USAGE:
                      [--annotated] [--limit N] [--query-engine indexed|scan]
   rememberr campaign --db DB.jsonl [--steps N] [--triggers N] [--effects N]
   rememberr export   --db DB.jsonl --out records.txt
+  rememberr serve    --db DB.jsonl [--addr HOST:PORT] [--workers N]
+                     [--queue-depth N] [--request-timeout-ms N]
   rememberr stats    --metrics m.json | --db DB.jsonl
   rememberr profile  [--scale F] [--seed N] [--jobs N]
 
@@ -779,18 +1038,37 @@ SNAPSHOTS (extract, classify):
                        faster. Every reader sniffs the format from the
                        file's magic bytes, so --db accepts either.
 
+SERVE:
+  rememberr serve loads the snapshot once (JSONL or binary, sniffed),
+  builds the query index, and serves HTTP on --addr (default
+  127.0.0.1:8377) from a fixed worker pool:
+    GET /query?vendor=intel&trigger=CODE&...   CLI-compatible parameters
+    GET /count?...      bare match count       GET /stats   snapshot info
+    GET /metrics        obs counters JSON      GET /healthz liveness
+    POST /reload        hot-swap the snapshot  POST /shutdown  drain+exit
+  Admission is bounded: at most --queue-depth accepted connections wait
+  for a worker; beyond that the daemon sheds with 503 Retry-After. Each
+  request gets --request-timeout-ms (default 2000) from accept; overruns
+  return 504. Identical requests yield byte-identical bodies at any
+  worker count; ?engine=scan serves from the full-scan oracle.
+
 BENCH REPORT:
-  rememberr report --bench reads the committed benchmark baselines
-  (BENCH_dedup.json, BENCH_classify.json, BENCH_pipeline.json,
-  BENCH_query.json, BENCH_persist.json) and renders the perf trajectory
-  with PASS/FAIL against
-  the pinned gates; exits nonzero on a schema violation or gate failure.
-  --bench-out FILE also writes the rendered report to FILE (even on gate
-  failure, for CI artifacts). The pipeline series compares the single-pass
-  shared-arena run (one_pass: each erratum tokenized exactly once, see the
-  textkit.tokenize_calls counter) against per-stage re-tokenization; the
-  query series compares posting-list intersection (indexed) against the
-  full-scan oracle on a battery of selective facet queries.
+  rememberr report --bench reads every committed benchmark baseline in
+  its registry (BENCH_dedup.json, BENCH_classify.json,
+  BENCH_pipeline.json, BENCH_query.json, BENCH_persist.json,
+  BENCH_serve.json) and renders the perf trajectory with PASS/FAIL
+  against the pinned gates; exits nonzero on a schema violation, a gate
+  failure, an unreadable registered baseline, or a BENCH_*.json in the
+  working directory that no registry entry claims (nothing is silently
+  skipped). --bench-out FILE also writes the rendered report to FILE
+  (even on gate failure, for CI artifacts). The pipeline series compares
+  the single-pass shared-arena run (one_pass: each erratum tokenized
+  exactly once, see the textkit.tokenize_calls counter) against per-stage
+  re-tokenization; the query series compares posting-list intersection
+  (indexed) against the full-scan oracle on a battery of selective facet
+  queries; the serve baseline pins zero indexed-vs-scan divergences over
+  HTTP, shedding under saturation, p99 under the deadline, and the
+  5,000 req/s floor.
 
 QUERY:
   --query-engine indexed|scan
@@ -847,46 +1125,11 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
         "query" => cmd_query(args),
         "campaign" => cmd_campaign(args),
         "export" => cmd_export(args),
+        "serve" => cmd_serve(args),
         "stats" => cmd_stats(args),
         "help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
-}
-
-fn parse_vendor(text: &str) -> Result<Vendor, String> {
-    match text.to_ascii_lowercase().as_str() {
-        "intel" => Ok(Vendor::Intel),
-        "amd" => Ok(Vendor::Amd),
-        other => Err(format!("unknown vendor {other:?} (use intel or amd)")),
-    }
-}
-
-/// Case-insensitive category parse against the canonical display names,
-/// with `-`/`_` accepted for spaces (`no-fix-planned` == "no fix planned").
-fn parse_display_category<T: Copy + std::fmt::Display>(
-    all: &[T],
-    what: &str,
-    text: &str,
-) -> Result<T, String> {
-    let wanted = text.to_ascii_lowercase().replace(['-', '_'], " ");
-    all.iter()
-        .copied()
-        .find(|c| c.to_string().to_ascii_lowercase() == wanted)
-        .ok_or_else(|| {
-            let known: Vec<String> = all
-                .iter()
-                .map(|c| c.to_string().to_ascii_lowercase().replace(' ', "-"))
-                .collect();
-            format!("unknown {what} {text:?} (use one of: {})", known.join(", "))
-        })
-}
-
-fn parse_workaround(text: &str) -> Result<WorkaroundCategory, String> {
-    parse_display_category(&WorkaroundCategory::ALL, "workaround category", text)
-}
-
-fn parse_fix(text: &str) -> Result<FixStatus, String> {
-    parse_display_category(&FixStatus::ALL, "fix status", text)
 }
 
 fn parse_date(option: &str, text: &str) -> Result<Date, String> {
@@ -1143,5 +1386,92 @@ mod tests {
             cmd_query(&parse(["query", "--db", "/nonexistent", "--query-engine", "fast"]).unwrap())
                 .unwrap_err();
         assert!(err.contains("invalid value for --query-engine"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_options_before_reading_the_db() {
+        // Every sizing option fails strict validation even though the
+        // database path does not exist — the error names the option, not
+        // the missing file.
+        for (argv, wanted) in [
+            (
+                vec!["serve", "--db", "/nonexistent", "--addr", "nonsense"],
+                "--addr",
+            ),
+            (
+                vec!["serve", "--db", "/nonexistent", "--workers", "0"],
+                "--workers",
+            ),
+            (
+                vec!["serve", "--db", "/nonexistent", "--workers", "many"],
+                "--workers",
+            ),
+            (
+                vec!["serve", "--db", "/nonexistent", "--queue-depth", "0"],
+                "--queue-depth",
+            ),
+            (
+                vec!["serve", "--db", "/nonexistent", "--request-timeout-ms", "0"],
+                "--request-timeout-ms",
+            ),
+        ] {
+            let err = cmd_serve(&parse(argv.clone()).unwrap()).unwrap_err();
+            assert!(err.contains(wanted), "{argv:?}: {err}");
+            assert!(!err.contains("/nonexistent"), "{argv:?}: {err}");
+        }
+        // With valid options the snapshot load is what fails.
+        let err = cmd_serve(&parse(["serve", "--db", "/nonexistent"]).unwrap()).unwrap_err();
+        assert!(err.contains("/nonexistent"), "{err}");
+    }
+
+    #[test]
+    fn serve_bench_renderer_gates_the_committed_claims() {
+        let doc = |divergences: u64, throughput: f64, p99_us: f64, shed_field: &str| {
+            format!(
+                r#"{{"schema": "rememberr-bench-serve/v1",
+                     "entries": 2563, "workers": 4, "requests": 20000,
+                     "throughput_rps": {throughput}, "p50_us": 350.0,
+                     "p99_us": {p99_us}, "request_timeout_ms": 2000,
+                     "divergences": {divergences}, "oracle_requests": 600,
+                     {shed_field} "requests_after": 1}}"#
+            )
+        };
+        let path = tmp("bench-serve-good.json");
+        fs::write(&path, doc(0, 8000.0, 1800.0, r#""shed": 3,"#)).unwrap();
+        let mut out = String::new();
+        assert!(render_serve_bench(
+            &mut out,
+            path.to_str().unwrap(),
+            "rememberr-bench-serve/v1",
+            "concurrent query serving"
+        )
+        .unwrap());
+        assert!(out.contains("8000 req/s"), "{out}");
+        assert!(!out.contains("FAIL"), "{out}");
+
+        // One divergence, sub-floor throughput, and p99 over the deadline
+        // each flip their gate to FAIL without erroring the render.
+        fs::write(&path, doc(1, 900.0, 2_500_000.0, r#""shed": 3,"#)).unwrap();
+        let mut out = String::new();
+        assert!(!render_serve_bench(
+            &mut out,
+            path.to_str().unwrap(),
+            "rememberr-bench-serve/v1",
+            "concurrent query serving"
+        )
+        .unwrap());
+        assert_eq!(out.matches("FAIL").count(), 3, "{out}");
+
+        // A missing field is a schema violation, not a silent pass.
+        fs::write(&path, doc(0, 8000.0, 1800.0, "")).unwrap();
+        let err = render_serve_bench(
+            &mut out,
+            path.to_str().unwrap(),
+            "rememberr-bench-serve/v1",
+            "concurrent query serving",
+        )
+        .unwrap_err();
+        assert!(err.contains("shed"), "{err}");
+        let _ = fs::remove_file(&path);
     }
 }

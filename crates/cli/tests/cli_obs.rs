@@ -402,6 +402,7 @@ fn report_bench_passes_on_committed_baselines_and_rejects_garbage() {
     let pipeline = root.join("BENCH_pipeline.json");
     let query = root.join("BENCH_query.json");
     let persist = root.join("BENCH_persist.json");
+    let serve = root.join("BENCH_serve.json");
     let report_path = tmp("bench-report.txt");
     let out = run(&[
         "report",
@@ -416,6 +417,8 @@ fn report_bench_passes_on_committed_baselines_and_rejects_garbage() {
         query.to_str().unwrap(),
         "--bench-persist",
         persist.to_str().unwrap(),
+        "--bench-serve",
+        serve.to_str().unwrap(),
         "--bench-out",
         report_path.to_str().unwrap(),
     ]);
@@ -426,9 +429,11 @@ fn report_bench_passes_on_committed_baselines_and_rejects_garbage() {
     assert!(text.contains("bench trajectory: single-pass corpus analysis"));
     assert!(text.contains("bench trajectory: indexed query serving"));
     assert!(text.contains("bench trajectory: binary columnar snapshots"));
+    assert!(text.contains("bench trajectory: concurrent query serving"));
     assert!(text.contains("tokenize_calls"), "{text}");
     assert!(text.contains("entries_scanned"), "{text}");
     assert!(text.contains("bytes"), "{text}");
+    assert!(text.contains("divergences"), "{text}");
     assert!(text.contains("all pinned gates PASS"), "{text}");
     assert!(!text.contains("FAIL"), "{text}");
     // --bench-out wrote the same rendered report (stdout printing adds a
@@ -669,4 +674,87 @@ fn snapshot_format_rejects_unknown_values() {
     assert!(!out.status.success());
     let err = stderr(&out);
     assert!(err.contains("invalid value for --snapshot-format"), "{err}");
+}
+
+#[test]
+fn serve_smoke_over_the_binary() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    // Build a tiny snapshot.
+    let dir = tmp("serve-corpus");
+    let db = tmp("serve-db.jsonl");
+    let out = run(&[
+        "generate",
+        "--out",
+        dir.to_str().unwrap(),
+        "--scale",
+        "0.05",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = run(&[
+        "extract",
+        "--docs",
+        dir.to_str().unwrap(),
+        "--out",
+        db.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Start the daemon on an ephemeral port; the startup line names it.
+    let mut child = bin()
+        .args([
+            "serve",
+            "--db",
+            db.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut child_out = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut startup = String::new();
+    child_out.read_line(&mut startup).expect("startup line");
+    assert!(
+        startup.contains("serving on http://127.0.0.1:"),
+        "{startup}"
+    );
+    assert!(startup.contains("2 workers"), "{startup}");
+    let addr = startup
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in startup line")
+        .to_string();
+
+    let request = |method: &str, target: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        write!(
+            stream,
+            "{method} {target} HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n"
+        )
+        .expect("request writes");
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("response reads");
+        String::from_utf8(raw).expect("UTF-8 response")
+    };
+    assert!(request("GET", "/healthz").ends_with("ok\n"));
+    let query = request("GET", "/query?vendor=intel&limit=2");
+    assert!(query.contains("200 OK"), "{query}");
+    assert!(query.contains("matching errata"), "{query}");
+    let shutdown = request("POST", "/shutdown");
+    assert!(shutdown.contains("shutting down"), "{shutdown}");
+
+    // The daemon drains, prints its summary, and exits zero.
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "{status:?}");
+    let mut rest = String::new();
+    child_out.read_to_string(&mut rest).expect("summary reads");
+    assert!(rest.contains("served"), "{rest}");
+    assert!(rest.contains("generation 1 at exit"), "{rest}");
+
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_file(&db);
 }

@@ -176,10 +176,20 @@ impl Database {
         self.index.get_or_build(|| QueryIndex::build(self))
     }
 
+    /// Debug guard every `&mut self` mutator ends with: a mutation that
+    /// leaves a built index cached would serve stale query results.
+    fn debug_assert_index_invalidated(&self) {
+        debug_assert!(
+            !self.index.is_built(),
+            "database mutation left a built query index behind"
+        );
+    }
+
     /// Restores dedup statistics (used when loading a persisted database).
     pub(crate) fn restore_dedup_stats(&mut self, stats: DedupStats) {
         self.index.invalidate();
         self.dedup_stats = stats;
+        self.debug_assert_index_invalidated();
     }
 
     /// Entries listed by a given design's document.
@@ -195,6 +205,7 @@ impl Database {
     /// Mutable lookup, for attaching annotations.
     pub fn entry_mut(&mut self, id: ErratumId) -> Option<&mut DbEntry> {
         self.index.invalidate();
+        self.debug_assert_index_invalidated();
         self.entries.iter_mut().find(|e| e.id() == id)
     }
 
@@ -222,6 +233,7 @@ impl Database {
                 n += 1;
             }
         }
+        self.debug_assert_index_invalidated();
         n
     }
 
@@ -289,6 +301,7 @@ impl Database {
             entry.key = None;
         }
         self.dedup_stats = assign_keys_with(&mut self.entries, strategy, CandidateGen::default());
+        self.debug_assert_index_invalidated();
         self.dedup_stats
     }
 
@@ -327,6 +340,7 @@ impl Extend<DbEntry> for Database {
     fn extend<I: IntoIterator<Item = DbEntry>>(&mut self, iter: I) {
         self.index.invalidate();
         self.entries.extend(iter);
+        self.debug_assert_index_invalidated();
     }
 }
 
@@ -482,6 +496,56 @@ mod tests {
         let q = crate::Query::new().annotated_only();
         assert_eq!(q.count_indexed(db.query_index(), &db), before + n);
         assert_eq!(q.count_indexed(db.query_index(), &db), q.count(&db));
+    }
+
+    #[test]
+    fn every_mutation_path_invalidates_the_query_index() {
+        let (corpus, db) = small_db();
+        let id = db.entries()[0].id();
+        let key = db.unique_entries()[0].key.unwrap();
+        let extra = db.entries()[0].clone();
+        let annotation = corpus.truth.bugs[0].profile.annotation.clone();
+        let stats = db.dedup_stats();
+
+        type Mutation = Box<dyn FnOnce(&mut Database)>;
+        let mutations: Vec<(&str, Mutation)> = vec![
+            (
+                "restore_dedup_stats",
+                Box::new(move |db| db.restore_dedup_stats(stats)),
+            ),
+            (
+                "entry_mut",
+                Box::new(move |db| {
+                    let _ = db.entry_mut(id);
+                }),
+            ),
+            ("annotate_cluster", {
+                let annotation = annotation.clone();
+                Box::new(move |db| {
+                    let _ = db.annotate_cluster(id, annotation);
+                })
+            }),
+            (
+                "annotate_key",
+                Box::new(move |db| {
+                    let _ = db.annotate_key(key, annotation);
+                }),
+            ),
+            ("extend", Box::new(move |db| db.extend([extra]))),
+            (
+                "merge",
+                Box::new(move |db| {
+                    let _ = db.merge(Database::new(), crate::dedup::DedupStrategy::default());
+                }),
+            ),
+        ];
+        for (name, mutate) in mutations {
+            let mut db = db.clone();
+            let _ = db.query_index();
+            assert!(db.index.is_built(), "{name}: index built before mutation");
+            mutate(&mut db);
+            assert!(!db.index.is_built(), "{name} left a built index cached");
+        }
     }
 
     #[test]

@@ -318,7 +318,9 @@ impl QueryIndexCell {
         self.0 = OnceLock::new();
     }
 
-    #[cfg(test)]
+    /// Whether an index is currently cached. Mutators debug-assert this
+    /// is false after invalidating — a mutation that leaves a built index
+    /// behind would serve stale query results.
     pub(crate) fn is_built(&self) -> bool {
         self.0.get().is_some()
     }

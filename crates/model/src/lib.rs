@@ -40,6 +40,7 @@ mod design;
 mod document;
 mod erratum;
 mod error;
+mod facetparse;
 mod format;
 mod ids;
 mod msr;
@@ -54,6 +55,7 @@ pub use design::{Design, Segment, Vendor};
 pub use document::{ErrataDocument, FixedIn, Revision};
 pub use erratum::{DateSource, Erratum, ErratumId, Provenance};
 pub use error::ModelError;
+pub use facetparse::{parse_display_category, parse_fix, parse_vendor, parse_workaround};
 pub use format::MachineErratum;
 pub use ids::UniqueKey;
 pub use msr::{MsrName, MsrRef};

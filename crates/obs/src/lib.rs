@@ -58,6 +58,13 @@ pub use span::{
 /// Master switch; collection is off until [`enable`] is called.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// Whether completed root spans are retained in the global collector.
+/// On by default; long-running processes (the serve daemon) turn it off
+/// so span *timings* still feed the duration histograms while the span
+/// *records* are dropped — otherwise every request would grow the
+/// collector without bound.
+static RETAIN_SPANS: AtomicBool = AtomicBool::new(true);
+
 /// Turns metric and span collection on.
 pub fn enable() {
     ENABLED.store(true, Ordering::Relaxed);
@@ -73,6 +80,26 @@ pub fn disable() {
 #[must_use]
 pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Controls completed-span retention (default: retained).
+///
+/// With retention off, spans still time their region and feed the
+/// duration histograms on close, but the completed [`SpanRecord`]s are
+/// discarded instead of accumulating in the global collector. A
+/// long-running server with collection enabled MUST turn retention off
+/// (or drain spans periodically) to keep memory bounded; one-shot
+/// pipeline commands leave it on so `--trace`/`--trace-out` see the full
+/// tree.
+pub fn retain_spans(retain: bool) {
+    RETAIN_SPANS.store(retain, Ordering::Relaxed);
+}
+
+/// Whether completed spans are currently retained.
+#[inline]
+#[must_use]
+pub fn spans_retained() -> bool {
+    RETAIN_SPANS.load(Ordering::Relaxed)
 }
 
 /// Adds `delta` to the named counter. No-op while collection is off.
@@ -112,11 +139,13 @@ pub fn snapshot() -> Snapshot {
     metrics::snapshot()
 }
 
-/// Clears all counters, histograms, and completed spans (test isolation
-/// and multi-command CLI runs).
+/// Clears all counters, histograms, and completed spans, and restores
+/// span retention to its default (test isolation and multi-command CLI
+/// runs).
 pub fn reset() {
     metrics::reset();
     span::reset();
+    RETAIN_SPANS.store(true, Ordering::Relaxed);
 }
 
 #[cfg(test)]

@@ -127,6 +127,36 @@ impl Histogram {
     pub fn mean_ns(&self) -> u64 {
         self.total_ns.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Approximate quantile in nanoseconds from the log-scale buckets.
+    ///
+    /// Walks the cumulative bucket counts until `q` of the observations
+    /// are covered and reports that bucket's upper bound `2^(i+1) - 1`,
+    /// clamped into `[min_ns, max_ns]` — a deterministic upper estimate
+    /// with factor-of-two resolution, which is what a latency endpoint
+    /// needs (`p50`/`p99` to the right order of magnitude, no sample
+    /// retention). Out-of-range `q` clamps; an empty histogram reports 0.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count), at least 1: the rank of the target observation.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(index, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                let upper = match index {
+                    63 => u64::MAX,
+                    i => (1u64 << (i + 1)) - 1,
+                };
+                return upper.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
 }
 
 /// Wall-clock utilization of one `par_map` worker slot, accumulated
@@ -232,6 +262,34 @@ mod tests {
         assert_eq!(h.mean_ns(), 227);
         // 3 and 3 share bucket 1, 5 is bucket 2, 900 is bucket 9.
         assert_eq!(h.buckets, vec![(1, 2), (2, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_buckets_and_clamp_to_observed_range() {
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile_ns(0.5), 0);
+
+        let mut h = Histogram::default();
+        for ns in [5, 3, 900, 3] {
+            h.record(ns);
+        }
+        // Ranks 1-2 land in bucket 1 (upper bound 3), rank 3 in bucket 2
+        // (upper bound 7), rank 4 in bucket 9 — clamped to max_ns.
+        assert_eq!(h.quantile_ns(0.25), 3);
+        assert_eq!(h.quantile_ns(0.50), 3);
+        assert_eq!(h.quantile_ns(0.75), 7);
+        assert_eq!(h.quantile_ns(0.99), 900);
+        assert_eq!(h.quantile_ns(1.0), 900);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile_ns(-1.0), 3);
+        assert_eq!(h.quantile_ns(2.0), 900);
+
+        // A single observation answers every quantile with itself: the
+        // bucket upper bound clamps into [min_ns, max_ns].
+        let mut one = Histogram::default();
+        one.record(1_000);
+        assert_eq!(one.quantile_ns(0.01), 1_000);
+        assert_eq!(one.quantile_ns(0.99), 1_000);
     }
 
     #[test]

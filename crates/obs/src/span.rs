@@ -190,7 +190,11 @@ fn close_frames_above(ctx: &mut ThreadCtx, base_depth: usize) {
         };
         match ctx.stack.last_mut() {
             Some(parent_frame) => parent_frame.children.push(record),
-            None => completed().push(record),
+            // Root spans normally publish to the collector; with span
+            // retention off (long-running servers) the record is dropped —
+            // its duration was already fed to the histogram above.
+            None if crate::spans_retained() => completed().push(record),
+            None => {}
         }
     }
 }

@@ -1,0 +1,74 @@
+//! Request deadlines and admission limits.
+//!
+//! Admission control has two layers with distinct failure modes:
+//!
+//! * **Queue depth** (503) — refused *before* any work: the bounded accept
+//!   queue is full, so the acceptor writes `503 Retry-After` and closes.
+//!   The client should retry; nothing was executed.
+//! * **Deadline** (504) — refused *during* work: the request spent its
+//!   budget queued or executing. The budget for a connection's first
+//!   request starts at accept time, so queue wait counts against it —
+//!   a saturated server times out stale work instead of serving requests
+//!   whose clients have long since given up.
+
+use std::time::{Duration, Instant};
+
+/// A per-request time budget, checked at stage boundaries.
+///
+/// The handler checks after parse and after execute; an expired deadline
+/// turns the response into a `504` and closes the connection. Checks at
+/// boundaries (rather than preemption) keep the worker loop simple: a
+/// single request can overrun by at most one stage.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// A deadline of `budget` counted from `start`.
+    pub fn starting(start: Instant, budget: Duration) -> Self {
+        Deadline { start, budget }
+    }
+
+    /// A deadline of `budget` counted from now.
+    pub fn new(budget: Duration) -> Self {
+        Deadline::starting(Instant::now(), budget)
+    }
+
+    /// Whether the budget is spent.
+    pub fn expired(&self) -> bool {
+        self.start.elapsed() >= self.budget
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.budget.saturating_sub(self.start.elapsed())
+    }
+
+    /// Nanoseconds elapsed since the deadline started.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_has_budget_left() {
+        let d = Deadline::new(Duration::from_secs(60));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(59));
+    }
+
+    #[test]
+    fn deadline_counts_from_its_start_instant() {
+        let past = Instant::now() - Duration::from_millis(50);
+        let d = Deadline::starting(past, Duration::from_millis(10));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        assert!(d.elapsed_ns() >= 50_000_000);
+    }
+}
